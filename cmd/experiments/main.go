@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic ecosystem.
+//
+// Usage:
+//
+//	experiments [-run all|sec23|table1|figure1|figure2|figure3|table2|adapt|survey|crawl] [-quick] [-corpus N] [-survey N]
+//
+// Each experiment prints a section mirroring the corresponding paper
+// table/figure; see EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	run := flag.String("run", "all", "experiment to run: all, sec23, table1, figure1, figure2, figure3, table2, adapt, fields, survey, crawl")
+	quick := flag.Bool("quick", false, "use small sizes (seconds instead of minutes)")
+	corpus := flag.Int("corpus", 0, "labeled corpus size (default 4000; paper used 86K)")
+	surveyN := flag.Int("survey", 0, "survey corpus size (default 30000; paper used 102M)")
+	crawlN := flag.Int("crawl", 0, "crawl size (default 1200)")
+	seed := flag.Int64("seed", 0, "override the experiment seed")
+	flag.Parse()
+
+	o := experiments.Options{}
+	if *quick {
+		o = experiments.Quick()
+	}
+	if *corpus > 0 {
+		o.CorpusSize = *corpus
+	}
+	if *surveyN > 0 {
+		o.SurveySize = *surveyN
+	}
+	if *crawlN > 0 {
+		o.CrawlSize = *crawlN
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	o = o.Defaults()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	emit := func(text string, err error) {
+		ran = true
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		fmt.Println(text)
+	}
+
+	if want("sec23") {
+		_, text, err := experiments.Sec23(o)
+		emit(text, err)
+	}
+	if want("table1") {
+		text, err := experiments.Table1(o)
+		emit(text, err)
+	}
+	if want("figure1") {
+		text, err := experiments.Figure1(o)
+		emit(text, err)
+	}
+	if want("figure2") || want("figure3") {
+		_, text, err := experiments.Figures23(o)
+		emit(text, err)
+	}
+	if want("table2") || want("adapt") {
+		_, text, err := experiments.Table2(o)
+		emit(text, err)
+	}
+	if want("fields") {
+		_, text, err := experiments.FieldsSweep(o)
+		emit(text, err)
+	}
+	if want("survey") || anyTable(*run) {
+		_, text, err := experiments.RunSurvey(o)
+		emit(text, err)
+	}
+	if want("crawl") {
+		_, text, err := experiments.RunCrawl(o)
+		emit(text, err)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// anyTable maps table3..table9, figure4a/4b/5 to the survey experiment.
+func anyTable(run string) bool {
+	switch strings.ToLower(run) {
+	case "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+		"figure4", "figure4a", "figure4b", "figure5":
+		return true
+	}
+	return false
+}

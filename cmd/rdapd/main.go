@@ -1,0 +1,43 @@
+// Command rdapd serves the synthetic registration corpus over RDAP — the
+// structured-data protocol the paper's background section (§2.2) expects
+// to eventually replace free-text WHOIS. Useful for poking at the
+// structured counterfactual:
+//
+//	rdapd -n 2000 -listen 127.0.0.1:8083 &
+//	curl -s http://127.0.0.1:8083/domain/<name> | jq .
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/rdap"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rdapd: ")
+	n := flag.Int("n", 2000, "number of domains to serve")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	flag.Parse()
+
+	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
+	srv := rdap.NewServer(domains)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
+	log.Printf("example: curl -s http://%s/domain/%s", addr, domains[0].Reg.Domain)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}

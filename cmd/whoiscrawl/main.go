@@ -1,0 +1,133 @@
+// Command whoiscrawl crawls a running whoisd ecosystem: for every domain
+// in the zone file it performs the two-step thin→thick lookup with
+// rate-limit inference and source rotation, then writes the raw thick
+// records to a corpus file.
+//
+// Usage:
+//
+//	whoiscrawl [-dir whois_servers.txt] [-zone zone.txt] [-out records.txt]
+//	           [-workers 16] [-sources 127.0.0.2,127.0.0.3,127.0.0.4]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/whoisclient"
+	"repro/internal/whoisd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whoiscrawl: ")
+	dirFile := flag.String("dir", "whois_servers.txt", "directory file written by whoisd")
+	zoneFile := flag.String("zone", "zone.txt", "zone file written by whoisd")
+	outFile := flag.String("out", "records.txt", "output corpus file")
+	workers := flag.Int("workers", 16, "concurrent crawl workers")
+	sources := flag.String("sources", "127.0.0.2,127.0.0.3,127.0.0.4", "comma-separated source IPs")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall crawl deadline")
+	flag.Parse()
+
+	dir, err := readDirectory(*dirFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	domains, err := readLines(*zoneFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := crawler.New(crawler.Config{
+		Resolver:        dir,
+		Sources:         strings.Split(*sources, ","),
+		Workers:         *workers,
+		InitialInterval: 2 * time.Millisecond,
+		MaxInterval:     600 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	log.Printf("crawling %d domains with %d workers", len(domains), *workers)
+	results, stats := c.Crawl(ctx, domains)
+
+	f, err := os.Create(*outFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	written := 0
+	for _, r := range results {
+		if r.Thick == "" {
+			continue
+		}
+		// The thin record's registrar is carried along: legacy thick
+		// formats omit it, and the survey needs it (§2.2).
+		fmt.Fprintf(w, "%%%% DOMAIN %s SERVER %s REGISTRAR %s\n%s\n%%%% END\n",
+			r.Domain, r.WhoisServer, thinRegistrar(r.Thin), r.Thick)
+		written++
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("thick records: %d/%d (coverage %.1f%%), failures %.1f%%, rate-limit hits %d, elapsed %v",
+		stats.ThickOK, stats.Total, 100*stats.Coverage(), 100*stats.FailureRate(),
+		stats.RateLimitHits, stats.Elapsed.Round(time.Millisecond))
+	if limited := c.LimitedServers(); len(limited) > 0 {
+		for _, s := range limited {
+			log.Printf("inferred limit at %s: %.1f q/s", s, c.InferredRate(s))
+		}
+	}
+	log.Printf("wrote %d records to %s", written, *outFile)
+}
+
+// thinRegistrar extracts the "Registrar:" value from a thin record.
+func thinRegistrar(thin string) string {
+	return whoisclient.ParseThin(thin).Registrar
+}
+
+func readDirectory(path string) (whoisclient.Resolver, error) {
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := whoisd.NewDirectory()
+	for i, line := range lines {
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"name addr\", got %q", path, i+1, line)
+		}
+		dir.Register(parts[0], parts[1])
+	}
+	return dir, nil
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestThinRegistrar(t *testing.T) {
+	thin := "   Domain Name: X.COM\n   Registrar: GoDaddy.com, LLC\n   Whois Server: whois.godaddy.com\n"
+	if got := thinRegistrar(thin); got != "GoDaddy.com, LLC" {
+		t.Errorf("thinRegistrar = %q", got)
+	}
+	if got := thinRegistrar("no registrar line"); got != "" {
+		t.Errorf("thinRegistrar on empty = %q", got)
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zone.txt")
+	if err := os.WriteFile(path, []byte("a.com\n\n  b.com  \nc.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.com", "b.com", "c.com"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: %q", i, lines[i])
+		}
+	}
+	if _, err := readLines(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReadDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.txt")
+	if err := os.WriteFile(path, []byte("whois.a.com 127.0.0.1:43\nwhois.b.com 127.0.0.1:44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := readDirectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := dir.Resolve("whois.b.com")
+	if err != nil || addr != "127.0.0.1:44" {
+		t.Errorf("resolve: %q, %v", addr, err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("oneword\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readDirectory(bad); err == nil {
+		t.Error("expected format error")
+	}
+}

@@ -1,0 +1,323 @@
+// Command whoisparse trains, evaluates, and applies the statistical WHOIS
+// parser.
+//
+// Subcommands:
+//
+//	whoisparse gen   -n 2000 -seed 1 -out corpus.labeled
+//	whoisparse train -in corpus.labeled -out parser.model [-train 1000]
+//	whoisparse eval  -model parser.model -in corpus.labeled [-baseline]
+//	whoisparse parse -model parser.model [record.txt]   (stdin if no file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/rulebased"
+	"repro/internal/tokenize"
+
+	whoisparse "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whoisparse: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "triage":
+		cmdTriage(os.Args[2:])
+	case "xval":
+		cmdXval(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: whoisparse <gen|train|eval|parse|triage|inspect|xval> [flags]")
+	os.Exit(2)
+}
+
+// cmdXval runs the §5.1 cross-validation protocol from the command line:
+// statistical vs rule-based error as a function of training-set size.
+func cmdXval(args []string) {
+	fs := flag.NewFlagSet("xval", flag.ExitOnError)
+	in := fs.String("in", "corpus.labeled", "labeled corpus")
+	sizesArg := fs.String("sizes", "20,100,1000", "comma-separated training sizes")
+	folds := fs.Int("folds", 5, "cross-validation folds")
+	seed := fs.Int64("seed", 1, "fold-assignment seed")
+	fs.Parse(args)
+
+	recs := readLabeled(*in)
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	statFactory := func(train []*whoisparse.LabeledRecord) (eval.BlockParser, error) {
+		p, _, err := whoisparse.Train(train, whoisparse.DefaultConfig())
+		return p, err
+	}
+	ruleFactory := func(train []*whoisparse.LabeledRecord) (eval.BlockParser, error) {
+		return rulebased.Build(train, tokenize.Options{}), nil
+	}
+	stat, err := eval.CrossValidate(recs, sizes, *folds, *seed, statFactory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule, err := eval.CrossValidate(recs, sizes, *folds, *seed, ruleFactory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%10s | %25s | %25s\n", "train size", "line error (rule / stat)", "doc error (rule / stat)")
+	for i := range stat {
+		fmt.Printf("%10d | %.4f±%.4f  %.4f±%.4f | %.4f±%.4f  %.4f±%.4f\n",
+			stat[i].TrainSize,
+			rule[i].LineMean, rule[i].LineStd, stat[i].LineMean, stat[i].LineStd,
+			rule[i].DocMean, rule[i].DocStd, stat[i].DocMean, stat[i].DocStd)
+	}
+}
+
+// cmdTriage ranks a labeled corpus by decoding uncertainty — the records
+// most worth labeling next when adapting the parser to new formats (§5.3).
+func cmdTriage(args []string) {
+	fs := flag.NewFlagSet("triage", flag.ExitOnError)
+	model := fs.String("model", "parser.model", "trained model file")
+	in := fs.String("in", "corpus.labeled", "labeled corpus to triage")
+	topN := fs.Int("top", 10, "how many uncertain records to show")
+	fs.Parse(args)
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := readLabeled(*in)
+	texts := make([]string, len(recs))
+	for i, r := range recs {
+		texts[i] = r.Text
+	}
+	order := p.RankByUncertainty(texts)
+	if *topN > len(order) {
+		*topN = len(order)
+	}
+	fmt.Printf("most uncertain records (label these next):\n")
+	for _, idx := range order[:*topN] {
+		_, min := p.Confidence(texts[idx])
+		fmt.Printf("  %-30s registrar=%-40s min-confidence=%.4f\n",
+			recs[idx].Domain, recs[idx].Registrar, min)
+	}
+}
+
+// cmdInspect prints the trained model's heaviest features (Table 1 /
+// Figure 1 style introspection).
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	model := fs.String("model", "parser.model", "trained model file")
+	topN := fs.Int("top", 8, "features per label")
+	fs.Parse(args)
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first-level CRF: %d features over %d observations\n\n",
+		p.BlockModel().NumFeatures(), p.BlockModel().Dict().Len())
+	for _, name := range []string{"registrar", "domain", "date", "registrant", "other", "null"} {
+		b, _ := parseBlockName(name)
+		top := p.BlockModel().TopStateFeatures(b, *topN)
+		fmt.Printf("%-11s", name)
+		for _, w := range top {
+			fmt.Printf(" %s", w.Obs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nstrongest block transitions:")
+	for _, tr := range p.BlockModel().TopTransitionFeatures(12) {
+		fmt.Printf("  %-11s -> %-11s %-20s %+.3f\n",
+			blockName(tr.From), blockName(tr.To), tr.Obs, tr.Weight)
+	}
+}
+
+func parseBlockName(name string) (int, bool) {
+	for i, n := range []string{"registrar", "domain", "date", "registrant", "other", "null"} {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func blockName(i int) string {
+	names := []string{"registrar", "domain", "date", "registrant", "other", "null"}
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return "?"
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 2000, "number of labeled records")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "corpus.labeled", "output file")
+	drift := fs.Float64("drift", 0, "fraction of records with format drift")
+	fs.Parse(args)
+
+	recs := whoisparse.GenerateCorpus(whoisparse.CorpusConfig{N: *n, Seed: *seed, DriftFraction: *drift})
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := whoisparse.WriteLabeled(f, recs); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d labeled records to %s", len(recs), *out)
+}
+
+func readLabeled(path string) []*whoisparse.LabeledRecord {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := whoisparse.ReadLabeled(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return recs
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "corpus.labeled", "labeled training corpus")
+	out := fs.String("out", "parser.model", "output model file")
+	limit := fs.Int("train", 0, "train on only the first N records (0 = all)")
+	fs.Parse(args)
+
+	recs := readLabeled(*in)
+	if *limit > 0 && *limit < len(recs) {
+		recs = recs[:*limit]
+	}
+	p, stats, err := whoisparse.Train(recs, whoisparse.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := whoisparse.Save(p, *out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained on %d records: first-level %d features (%d iters), second-level %d features (%d iters); model in %s",
+		len(recs), stats.BlockFeatures, stats.Block.Iterations,
+		stats.FieldFeatures, stats.Field.Iterations, *out)
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	model := fs.String("model", "parser.model", "trained model file")
+	in := fs.String("in", "corpus.labeled", "labeled evaluation corpus")
+	baseline := fs.Bool("baseline", false, "also evaluate a rule-based parser built from the same corpus")
+	confusion := fs.Bool("confusion", false, "print the first-level confusion matrix")
+	fs.Parse(args)
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := readLabeled(*in)
+	m, err := eval.EvalBlocks(p, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("statistical: line error %.4f (%d/%d), document error %.4f (%d/%d)\n",
+		m.LineErrorRate(), m.LineErrors, m.Lines, m.DocErrorRate(), m.DocErrors, m.Docs)
+	mf, err := eval.EvalFields(p, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("statistical registrant fields: line error %.4f over %d lines\n", mf.LineErrorRate(), mf.Lines)
+	if *baseline {
+		rb := rulebased.Build(recs, tokenize.Options{})
+		mr, err := eval.EvalBlocks(rb, recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rule-based (trained on eval corpus): line error %.4f, document error %.4f\n",
+			mr.LineErrorRate(), mr.DocErrorRate())
+	}
+	if *confusion {
+		c, err := eval.ConfusionBlocks(p, recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(c.Render())
+	}
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	model := fs.String("model", "parser.model", "trained model file")
+	showLines := fs.Bool("lines", false, "print the per-line labels")
+	fs.Parse(args)
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var text []byte
+	if fs.NArg() > 0 {
+		text, err = os.ReadFile(fs.Arg(0))
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := p.Parse(string(text))
+	if *showLines {
+		for i, ln := range pr.Lines {
+			lbl := pr.Blocks[i].String()
+			if pr.Blocks[i] == whoisparse.BlockRegistrant {
+				lbl += "/" + pr.Fields[i].String()
+			}
+			fmt.Printf("%-18s %s\n", lbl, ln.Raw)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Domain:      %s\n", pr.DomainName)
+	fmt.Printf("Registrar:   %s\n", pr.Registrar)
+	fmt.Printf("Created:     %s\n", pr.CreatedDate)
+	fmt.Printf("Expires:     %s\n", pr.ExpiresDate)
+	fmt.Printf("Registrant:  %s\n", pr.Registrant.Name)
+	fmt.Printf("  Org:       %s\n", pr.Registrant.Org)
+	fmt.Printf("  Street:    %s\n", pr.Registrant.Street)
+	fmt.Printf("  City:      %s / %s / %s\n", pr.Registrant.City, pr.Registrant.State, pr.Registrant.Postcode)
+	fmt.Printf("  Country:   %s\n", pr.Registrant.Country)
+	fmt.Printf("  Phone:     %s\n", pr.Registrant.Phone)
+	fmt.Printf("  Email:     %s\n", pr.Registrant.Email)
+}

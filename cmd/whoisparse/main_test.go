@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseBlockName(t *testing.T) {
+	i, ok := parseBlockName("registrant")
+	if !ok || i != 3 {
+		t.Errorf("registrant -> (%d, %v)", i, ok)
+	}
+	if _, ok := parseBlockName("bogus"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestBlockName(t *testing.T) {
+	if blockName(0) != "registrar" || blockName(5) != "null" {
+		t.Error("block names miswired")
+	}
+	if blockName(99) != "?" {
+		t.Error("out of range should be ?")
+	}
+}

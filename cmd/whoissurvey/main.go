@@ -1,0 +1,169 @@
+// Command whoissurvey parses a corpus of raw WHOIS records with a trained
+// model and prints the §6 survey tables (registrant countries, registrars,
+// privacy protection, and per-year trends).
+//
+// Input is either a crawl output file from whoiscrawl (-in records.txt) or
+// a freshly generated synthetic corpus (-synthetic N).
+//
+// Usage:
+//
+//	whoissurvey -model parser.model -in records.txt [-dbl dbl.txt]
+//	whoissurvey -model parser.model -synthetic 30000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/survey"
+	"repro/internal/synth"
+
+	whoisparse "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whoissurvey: ")
+	model := flag.String("model", "parser.model", "trained model file")
+	in := flag.String("in", "", "records file from whoiscrawl")
+	dblFile := flag.String("dbl", "", "optional blacklist file (one domain per line)")
+	synthetic := flag.Int("synthetic", 0, "generate and survey N synthetic records instead of -in")
+	seed := flag.Int64("seed", 2, "seed for -synthetic")
+	flag.Parse()
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dbl := make(map[string]bool)
+	if *dblFile != "" {
+		for _, d := range mustLines(*dblFile) {
+			dbl[strings.ToLower(d)] = true
+		}
+	}
+
+	var facts []survey.Facts
+	switch {
+	case *synthetic > 0:
+		domains := synth.Generate(synth.Config{N: *synthetic, Seed: *seed, BrandFraction: 0.02})
+		texts := make([]string, len(domains))
+		for i, d := range domains {
+			texts[i] = d.Render().Text
+		}
+		for i, pr := range p.ParseAll(texts, 0) {
+			facts = append(facts, survey.FactsFrom(pr, domains[i].Blacklisted))
+		}
+	case *in != "":
+		records, err := readRecords(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var names []string
+		var texts []string
+		var registrars []string
+		for domain, rec := range records {
+			names = append(names, domain)
+			texts = append(texts, rec.text)
+			registrars = append(registrars, rec.registrar)
+		}
+		for i, pr := range p.ParseAll(texts, 0) {
+			f := survey.FactsFrom(pr, dbl[names[i]])
+			if f.Registrar == "" {
+				f.Registrar = registrars[i] // thin-record fallback
+			}
+			facts = append(facts, f)
+		}
+	default:
+		log.Fatal("need -in records.txt or -synthetic N")
+	}
+
+	s := survey.New(facts)
+	log.Printf("surveying %d parsed records", s.Len())
+
+	t3all, t3new := s.Table3()
+	fmt.Println(survey.RenderRows("Table 3 (left) — registrant countries, all time", t3all))
+	fmt.Println(survey.RenderRows("Table 3 (right) — registrant countries, created 2014", t3new))
+	t5all, t5new := s.Table5()
+	fmt.Println(survey.RenderRows("Table 5 (left) — registrars, all time", t5all))
+	fmt.Println(survey.RenderRows("Table 5 (right) — registrars, created 2014", t5new))
+	fmt.Println(survey.RenderRows("Table 6 — registrars of privacy-protected domains", s.Table6()))
+	fmt.Println(survey.RenderRows("Table 7 — privacy protection services", s.Table7()))
+	if len(dbl) > 0 || *synthetic > 0 {
+		fmt.Println(survey.RenderRows("Table 8 — registrant countries of blacklisted 2014 domains", s.Table8()))
+		fmt.Println(survey.RenderRows("Table 9 — registrars of blacklisted 2014 domains", s.Table9()))
+	}
+	fmt.Println(survey.RenderHistogram("Figure 4a — domains created per year", s.Figure4a()))
+	fmt.Println(survey.RenderMixes("Figure 4b — proportions by creation year", s.Figure4b(1995), survey.Figure4bLabels()))
+	fmt.Println(survey.RenderRegistrarMixes("Figure 5 — top registrant countries for selected registrars",
+		s.Figure5([]string{"eNom", "HiChina", "GMO", "Melbourne"})))
+}
+
+// crawledRecord is one thick record plus the thin record's registrar.
+type crawledRecord struct {
+	text      string
+	registrar string
+}
+
+// readRecords parses whoiscrawl output:
+// "%% DOMAIN name SERVER s REGISTRAR r" ... "%% END" sections.
+func readRecords(path string) (map[string]crawledRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]crawledRecord)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var domain, registrar string
+	var body []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "%% DOMAIN "):
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				domain = fields[2]
+			}
+			registrar = ""
+			if i := strings.Index(line, " REGISTRAR "); i >= 0 {
+				registrar = strings.TrimSpace(line[i+len(" REGISTRAR "):])
+			}
+			body = body[:0]
+		case line == "%% END":
+			if domain != "" {
+				out[strings.ToLower(domain)] = crawledRecord{text: strings.Join(body, "\n"), registrar: registrar}
+			}
+			domain = ""
+		default:
+			if domain != "" {
+				body = append(body, line)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func mustLines(path string) []string {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if l := strings.TrimSpace(sc.Text()); l != "" {
+			out = append(out, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

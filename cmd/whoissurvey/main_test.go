@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadRecords(t *testing.T) {
+	content := `%% DOMAIN a.com SERVER whois.x.com REGISTRAR GoDaddy.com, LLC
+Domain Name: a.com
+Registrant Name: John
+
+%% END
+%% DOMAIN b.com SERVER whois.y.com REGISTRAR eNom, Inc.
+Domain Name: b.com
+%% END
+`
+	path := filepath.Join(t.TempDir(), "records.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	a := recs["a.com"]
+	if a.registrar != "GoDaddy.com, LLC" {
+		t.Errorf("registrar %q", a.registrar)
+	}
+	if a.text == "" || a.text[:12] != "Domain Name:" {
+		t.Errorf("text %q", a.text)
+	}
+	b := recs["b.com"]
+	if b.registrar != "eNom, Inc." {
+		t.Errorf("registrar %q", b.registrar)
+	}
+}
+
+func TestReadRecordsLegacyHeaderWithoutRegistrar(t *testing.T) {
+	content := "%% DOMAIN c.com SERVER whois.z.com\nline\n%% END\n"
+	path := filepath.Join(t.TempDir(), "records.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs["c.com"].registrar != "" {
+		t.Errorf("registrar %q, want empty", recs["c.com"].registrar)
+	}
+}

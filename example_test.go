@@ -1,0 +1,61 @@
+package whoisparse_test
+
+import (
+	"fmt"
+
+	whoisparse "repro"
+)
+
+// Train a parser on labeled examples and parse a record the parser has
+// never seen.
+func Example() {
+	corpus := whoisparse.GenerateCorpus(whoisparse.CorpusConfig{N: 300, Seed: 42})
+	parser, _, err := whoisparse.Train(corpus, whoisparse.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+
+	record := `Domain Name: example-parse.com
+Registrar: Example Registrar, Inc.
+Creation Date: 2012-04-05
+Registrant Name: Grace Hopper
+Registrant Organization: COBOL Heritage Society
+Registrant City: Arlington
+Registrant Country: US
+Registrant Email: grace@cobol.example`
+
+	parsed := parser.Parse(record)
+	fmt.Println(parsed.Registrant.Name)
+	fmt.Println(parsed.Registrant.Country)
+	fmt.Println(parsed.CreatedDate)
+	// Output:
+	// Grace Hopper
+	// US
+	// 2012-04-05
+}
+
+// Line labels expose the two-level structure directly.
+func ExampleParser_ParseBlocks() {
+	corpus := whoisparse.GenerateCorpus(whoisparse.CorpusConfig{N: 300, Seed: 42})
+	parser, _, err := whoisparse.Train(corpus, whoisparse.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	record := `Domain Name: x.com
+Registrar: Example Registrar, Inc.
+Creation Date: 2011-06-15
+Registrant Name: Ada Lovelace
+Registrant Email: ada@x.com
+Name Server: ns1.x.com`
+	_, blocks := parser.ParseBlocks(record)
+	for _, b := range blocks {
+		fmt.Println(b)
+	}
+	// Output:
+	// domain
+	// registrar
+	// date
+	// registrant
+	// registrant
+	// domain
+}

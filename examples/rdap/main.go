@@ -1,0 +1,70 @@
+// RDAP example: the structured-data endgame the paper's background
+// section points at (§2.2). The same registration data is served twice —
+// as free-text WHOIS (which needs the trained statistical parser) and as
+// RDAP JSON over HTTP (which needs nothing but encoding/json) — and both
+// extraction paths are compared against ground truth.
+//
+//	go run ./examples/rdap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rdap"
+	"repro/internal/synth"
+
+	whoisparse "repro"
+)
+
+func main() {
+	domains := synth.Generate(synth.Config{N: 300, Seed: 404})
+
+	// Path 1: free-text WHOIS through the statistical parser.
+	train := whoisparse.GenerateCorpus(whoisparse.CorpusConfig{N: 400, Seed: 405})
+	parser, _, err := whoisparse.Train(train, whoisparse.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Path 2: RDAP over HTTP.
+	srv := rdap.NewServer(domains)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client := &rdap.Client{BaseURL: "http://" + addr}
+	fmt.Printf("RDAP endpoint up at http://%s/domain/{name}\n\n", addr)
+
+	var whoisExact, rdapExact, total int
+	for _, d := range domains {
+		if d.Reg.Privacy {
+			continue
+		}
+		total++
+
+		pr := parser.Parse(d.Render().Text)
+		if pr.Registrant.Name == d.Reg.Registrant.Name {
+			whoisExact++
+		}
+
+		obj, err := client.Lookup(d.Reg.Domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c, ok := obj.ContactByRole("registrant"); ok && c.Name == d.Reg.Registrant.Name {
+			rdapExact++
+		}
+	}
+
+	fmt.Printf("registrant-name extraction over %d records:\n", total)
+	fmt.Printf("  free-text WHOIS + trained CRF parser: %d/%d (%.1f%%)\n",
+		whoisExact, total, 100*float64(whoisExact)/float64(total))
+	fmt.Printf("  RDAP JSON + encoding/json:            %d/%d (%.1f%%)\n\n",
+		rdapExact, total, 100*float64(rdapExact)/float64(total))
+	fmt.Println("The statistical parser closes most of the gap that free-text formats")
+	fmt.Println("open up; a structured protocol never opens it. That is the paper's")
+	fmt.Println("closing argument for RDAP — and why, until com serves it, a learned")
+	fmt.Println("parser is the practical path.")
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/labels"
+	"repro/internal/tokenize"
+)
+
+// The §5.3 maintainability loop needs mislabeled records to be *found*
+// before they can be fixed with new labeled examples. The CRF provides a
+// principled signal for free: the posterior marginal probability of each
+// predicted label. Lines the model labels with low confidence are exactly
+// where new formats show up.
+
+// LineConfidence pairs a predicted label with its posterior probability.
+type LineConfidence struct {
+	Line  tokenize.Line
+	Block labels.Block
+	// Prob is Pr(y_t = predicted | x), from forward-backward marginals.
+	Prob float64
+}
+
+// Confidence runs first-level decoding and returns the per-line posterior
+// probability of each predicted block, plus the minimum across lines (the
+// record's weakest link). An empty record returns (nil, 1).
+func (p *Parser) Confidence(text string) ([]LineConfidence, float64) {
+	lines := tokenize.Tokenize(text, p.cfg.Tokenize)
+	if len(lines) == 0 {
+		return nil, 1
+	}
+	inst := p.block.MapLines(lines)
+	path, _ := p.block.Decode(inst)
+	marg := p.block.Marginals(inst)
+	out := make([]LineConfidence, len(lines))
+	min := 1.0
+	for i := range lines {
+		prob := marg[i][path[i]]
+		out[i] = LineConfidence{Line: lines[i], Block: labels.Block(path[i]), Prob: prob}
+		if prob < min {
+			min = prob
+		}
+	}
+	return out, min
+}
+
+// RankByUncertainty orders record texts by ascending minimum line
+// confidence: the records most worth labeling next. It returns the indices
+// into texts, most uncertain first — the active-learning selection the
+// paper's "add a handful of labeled examples" workflow implies.
+func (p *Parser) RankByUncertainty(texts []string) []int {
+	type scored struct {
+		idx  int
+		conf float64
+	}
+	all := make([]scored, len(texts))
+	for i, t := range texts {
+		_, min := p.Confidence(t)
+		all[i] = scored{idx: i, conf: min}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].conf < all[j].conf })
+	out := make([]int, len(all))
+	for i, s := range all {
+		out[i] = s.idx
+	}
+	return out
+}

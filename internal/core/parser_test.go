@@ -1,0 +1,279 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/labels"
+	"repro/internal/synth"
+)
+
+// trainedParser trains once per test binary on a small corpus.
+var trainedParser *Parser
+
+func getParser(t testing.TB) *Parser {
+	t.Helper()
+	if trainedParser == nil {
+		recs := synth.GenerateLabeled(synth.Config{N: 400, Seed: 101})
+		p, stats, err := Train(recs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.BlockFeatures == 0 || stats.FieldFeatures == 0 {
+			t.Fatalf("degenerate feature spaces: %+v", stats)
+		}
+		trainedParser = p
+	}
+	return trainedParser
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestTrainRejectsMisalignedRecord(t *testing.T) {
+	rec := &labels.LabeledRecord{
+		Domain: "x.com", TLD: "com", Registrar: "r",
+		Text:  "a: 1\nb: 2",
+		Lines: []labels.LabeledLine{{Text: "a: 1", Block: labels.Domain}},
+	}
+	if _, _, err := Train([]*labels.LabeledRecord{rec}, DefaultConfig()); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+func TestParserAccuracyOnHeldOut(t *testing.T) {
+	p := getParser(t)
+	test := synth.GenerateLabeled(synth.Config{N: 300, Seed: 202})
+	m, err := eval.EvalBlocks(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LineErrorRate() > 0.02 {
+		t.Errorf("line error %.4f too high for 400 training examples (paper: <2%% at 100)",
+			m.LineErrorRate())
+	}
+}
+
+func TestFieldAccuracyOnHeldOut(t *testing.T) {
+	p := getParser(t)
+	test := synth.GenerateLabeled(synth.Config{N: 300, Seed: 203})
+	m, err := eval.EvalFields(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LineErrorRate() > 0.03 {
+		t.Errorf("registrant field error %.4f too high", m.LineErrorRate())
+	}
+}
+
+func TestParseExtractsFields(t *testing.T) {
+	p := getParser(t)
+	domains := synth.Generate(synth.Config{N: 200, Seed: 204})
+	var nameMiss, regMiss, regTotal, dateMiss int
+	for _, d := range domains {
+		text := d.Render().Text
+		pr := p.Parse(text)
+		if pr.Registrant.Name == "" && !d.Reg.Privacy {
+			nameMiss++
+		}
+		// Some legacy formats (netsol family) genuinely omit the
+		// registrar name from the thick record.
+		if strings.Contains(text, d.Reg.RegistrarName) {
+			regTotal++
+			if pr.Registrar == "" {
+				regMiss++
+			}
+		}
+		if pr.CreatedDate == "" {
+			dateMiss++
+		}
+	}
+	if float64(nameMiss)/float64(len(domains)) > 0.03 {
+		t.Errorf("registrant name missing in %d/%d records", nameMiss, len(domains))
+	}
+	if float64(regMiss)/float64(regTotal) > 0.05 {
+		t.Errorf("registrar missing in %d/%d records that carry it", regMiss, regTotal)
+	}
+	if float64(dateMiss)/float64(len(domains)) > 0.05 {
+		t.Errorf("creation date missing in %d/%d records", dateMiss, len(domains))
+	}
+}
+
+func TestParseExtractionFidelity(t *testing.T) {
+	p := getParser(t)
+	domains := synth.Generate(synth.Config{N: 200, Seed: 205})
+	var nameOK, total int
+	for _, d := range domains {
+		if d.Reg.Privacy {
+			continue
+		}
+		pr := p.Parse(d.Render().Text)
+		total++
+		if pr.Registrant.Name == d.Reg.Registrant.Name {
+			nameOK++
+		}
+	}
+	if rate := float64(nameOK) / float64(total); rate < 0.95 {
+		t.Errorf("registrant name fidelity %.3f, want >= 0.95", rate)
+	}
+}
+
+func TestParseEmptyText(t *testing.T) {
+	p := getParser(t)
+	pr := p.Parse("")
+	if len(pr.Lines) != 0 || len(pr.Blocks) != 0 {
+		t.Errorf("empty parse produced %d lines", len(pr.Lines))
+	}
+}
+
+func TestParseBoilerplateOnly(t *testing.T) {
+	p := getParser(t)
+	pr := p.Parse("The data in this record is provided for information purposes only.\nAll rights reserved.")
+	for i, b := range pr.Blocks {
+		if b != labels.Null {
+			t.Errorf("boilerplate line %d labeled %v", i, b)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p := getParser(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.Generate(synth.Config{N: 20, Seed: 206})[3]
+	text := d.Render().Text
+	a := p.Parse(text)
+	b := p2.Parse(text)
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("block counts differ after round trip")
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] || a.Fields[i] != b.Fields[i] {
+			t.Fatalf("labels differ at line %d after round trip", i)
+		}
+	}
+	if a.Registrant != b.Registrant {
+		t.Errorf("extracted registrant differs: %+v vs %+v", a.Registrant, b.Registrant)
+	}
+	if p2.Config().MinCount != p.Config().MinCount {
+		t.Error("config lost in round trip")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a model")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestParseFieldsOnlyTouchesRegistrantLines(t *testing.T) {
+	p := getParser(t)
+	d := synth.Generate(synth.Config{N: 10, Seed: 207})[0]
+	lines, blocks := p.ParseBlocks(d.Render().Text)
+	fields := p.ParseFields(lines, blocks)
+	for i := range fields {
+		if blocks[i] != labels.Registrant && fields[i] != labels.FieldOther {
+			t.Errorf("non-registrant line %d got field %v", i, fields[i])
+		}
+	}
+}
+
+func TestMultiLineStreetJoined(t *testing.T) {
+	p := getParser(t)
+	text := strings.Join([]string{
+		"Domain Name: street-test.com",
+		"Registrar: Example",
+		"Creation Date: 2012-01-02",
+		"Registrant Name: Jane Roe",
+		"Registrant Street: 1 Main St",
+		"Registrant Street: Suite 200",
+		"Registrant City: Springfield",
+		"Registrant Country: US",
+		"Registrant Email: jane@example.com",
+	}, "\n")
+	pr := p.Parse(text)
+	if !strings.Contains(pr.Registrant.Street, "1 Main St") {
+		t.Errorf("street lost: %q", pr.Registrant.Street)
+	}
+	if !strings.Contains(pr.Registrant.Street, "Suite 200") {
+		t.Errorf("second street line not joined: %q", pr.Registrant.Street)
+	}
+}
+
+func TestTrainStatsFeatureCounts(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: 208})
+	_, stats, err := Train(recs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's first-level CRF is larger than its second-level one;
+	// with shared tokenization ours must have more block features than
+	// registrant lines alone provide.
+	if stats.BlockFeatures < 10000 {
+		t.Errorf("suspiciously few block features: %d", stats.BlockFeatures)
+	}
+	if !stats.Block.Converged && stats.Block.Iterations == 0 {
+		t.Errorf("block training did not run: %+v", stats.Block)
+	}
+}
+
+func TestTrainSGDWorks(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 120, Seed: 209})
+	cfg := DefaultConfig()
+	cfg.Train.Method = "sgd"
+	p, _, err := Train(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synth.GenerateLabeled(synth.Config{N: 100, Seed: 210})
+	m, err := eval.EvalBlocks(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LineErrorRate() > 0.08 {
+		t.Errorf("SGD-trained parser line error %.4f too high", m.LineErrorRate())
+	}
+}
+
+func TestParseAllMatchesSequential(t *testing.T) {
+	p := getParser(t)
+	domains := synth.Generate(synth.Config{N: 60, Seed: 211})
+	texts := make([]string, len(domains))
+	for i, d := range domains {
+		texts[i] = d.Render().Text
+	}
+	parallel := p.ParseAll(texts, 4)
+	for i, text := range texts {
+		seq := p.Parse(text)
+		par := parallel[i]
+		if len(seq.Blocks) != len(par.Blocks) {
+			t.Fatalf("record %d: lengths differ", i)
+		}
+		for j := range seq.Blocks {
+			if seq.Blocks[j] != par.Blocks[j] || seq.Fields[j] != par.Fields[j] {
+				t.Fatalf("record %d line %d differs between sequential and parallel", i, j)
+			}
+		}
+		if seq.Registrant != par.Registrant {
+			t.Fatalf("record %d: extracted contacts differ", i)
+		}
+	}
+}
+
+func TestParseAllEmpty(t *testing.T) {
+	p := getParser(t)
+	if out := p.ParseAll(nil, 4); len(out) != 0 {
+		t.Errorf("empty input produced %d results", len(out))
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crf"
+	"repro/internal/eval"
+	"repro/internal/labels"
+	"repro/internal/optimize"
+	"repro/internal/synth"
+)
+
+func TestRetrainWarmStartConvergesFaster(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 400, Seed: 601})
+	cfg := DefaultConfig()
+	base, coldStats, err := Train(recs[:300], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Add a handful of new-TLD examples (the §5.3 workflow) and retrain,
+	// once cold and once warm.
+	extended := append([]*labels.LabeledRecord(nil), recs[:300]...)
+	for _, tld := range []string{"coop", "asia"} {
+		extended = append(extended, synth.GenerateNewTLD(tld, 1, 602)[0].Labeled())
+	}
+
+	_, coldRetrain, err := Train(extended, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmRetrain, err := Retrain(base, extended, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmRetrain.Block.Iterations >= coldRetrain.Block.Iterations {
+		t.Errorf("warm start did not converge faster: %d vs %d iterations (cold-from-scratch: %d)",
+			warmRetrain.Block.Iterations, coldRetrain.Block.Iterations, coldStats.Block.Iterations)
+	}
+
+	// Accuracy must not suffer.
+	test := synth.GenerateLabeled(synth.Config{N: 200, Seed: 603})
+	m, err := eval.EvalBlocks(warm, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LineErrorRate() > 0.01 {
+		t.Errorf("warm-started parser line error %.4f", m.LineErrorRate())
+	}
+	// And the new format must now decode cleanly.
+	for _, tld := range []string{"coop", "asia"} {
+		rec := synth.GenerateNewTLD(tld, 1, 604)[0].Labeled()
+		_, blocks := warm.ParseBlocks(rec.Text)
+		errs := 0
+		for i := range rec.Lines {
+			if blocks[i] != rec.Lines[i].Block {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Errorf("%s after warm retrain: %d/%d errors", tld, errs, len(rec.Lines))
+		}
+	}
+}
+
+func TestRetrainNilPreviousEqualsTrain(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 100, Seed: 605})
+	a, _, err := Train(recs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Retrain(nil, recs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := recs[0].Text
+	pa := a.Parse(text)
+	pb := b.Parse(text)
+	for i := range pa.Blocks {
+		if pa.Blocks[i] != pb.Blocks[i] {
+			t.Fatal("Retrain(nil, ...) diverges from Train")
+		}
+	}
+}
+
+func TestWarmStartRejectsStateMismatch(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 50, Seed: 606})
+	p, _, err := Train(recs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A model with a different state count must be ignored, not copied.
+	other := crf.New(p.block.Dict(), crf.Config{NumStates: 3})
+	before := append([]float64(nil), other.Theta()...)
+	other.WarmStartFrom(p.block)
+	after := other.Theta()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("WarmStartFrom copied weights across mismatched state spaces")
+		}
+	}
+	_ = optimize.DefaultLBFGSConfig() // keep import for clarity of intent
+}

@@ -1,0 +1,259 @@
+package crf
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/optimize"
+)
+
+// TrainConfig selects the optimizer and its settings.
+type TrainConfig struct {
+	// Method is "lbfgs" (default) or "sgd".
+	Method string
+	// LBFGS settings; zero value means optimize.DefaultLBFGSConfig.
+	LBFGS optimize.LBFGSConfig
+	// SGD settings; zero value means optimize.DefaultSGDConfig.
+	SGD optimize.SGDConfig
+	// Workers bounds the goroutines used for batch gradient evaluation.
+	// Zero means GOMAXPROCS.
+	Workers int
+}
+
+// Train estimates θ by maximizing the L2-regularized conditional
+// log-likelihood of the labeled instances (eq. 4 plus 0.5·λ‖θ‖²,
+// minimized as its negation). The instances must carry Labels.
+func (m *Model) Train(insts []Instance, cfg TrainConfig) (optimize.Result, error) {
+	for i, inst := range insts {
+		if len(inst.Labels) != len(inst.Obs) {
+			return optimize.Result{}, fmt.Errorf("crf: instance %d: %d labels for %d positions", i, len(inst.Labels), len(inst.Obs))
+		}
+		for _, y := range inst.Labels {
+			if y < 0 || y >= m.cfg.NumStates {
+				return optimize.Result{}, fmt.Errorf("crf: instance %d: label %d out of range [0,%d)", i, y, m.cfg.NumStates)
+			}
+		}
+	}
+	switch cfg.Method {
+	case "", "lbfgs":
+		lcfg := cfg.LBFGS
+		if lcfg.MaxIterations == 0 && lcfg.History == 0 {
+			lcfg = optimize.DefaultLBFGSConfig()
+		}
+		obj := m.newBatchObjective(insts, cfg.Workers)
+		res, err := optimize.LBFGS(obj, m.theta, lcfg)
+		if err != nil {
+			return res, fmt.Errorf("crf: lbfgs: %w", err)
+		}
+		copy(m.theta, res.X)
+		return res, nil
+	case "sgd":
+		scfg := cfg.SGD
+		if scfg.Epochs == 0 && scfg.Eta0 == 0 {
+			scfg = optimize.DefaultSGDConfig()
+		}
+		obj := &sgdObjective{m: m, insts: insts}
+		res, err := optimize.SGD(obj, m.theta, scfg)
+		if err != nil {
+			return res, fmt.Errorf("crf: sgd: %w", err)
+		}
+		copy(m.theta, res.X)
+		return res, nil
+	default:
+		return optimize.Result{}, fmt.Errorf("crf: unknown training method %q", cfg.Method)
+	}
+}
+
+// instanceNLL computes the negative log-likelihood of one instance at
+// theta and accumulates its gradient (expected minus observed feature
+// counts) into grad.
+func (m *Model) instanceNLL(theta []float64, inst Instance, grad []float64) float64 {
+	n := m.cfg.NumStates
+	T := len(inst.Obs)
+	if T == 0 {
+		return 0
+	}
+	lat := m.buildLattice(theta, inst)
+	alpha := forward(lat)
+	beta := backward(lat)
+	logZ := mathx.LogSumExpSlice(alpha[T-1])
+	gold := latticeSeqScore(lat, inst.Labels)
+	nll := logZ - gold
+
+	if grad == nil {
+		return nll
+	}
+
+	// Node terms: expected - observed emission counts.
+	prob := make([]float64, n)
+	for t := 0; t < T; t++ {
+		var norm float64
+		for j := 0; j < n; j++ {
+			p := expSafe(alpha[t][j] + beta[t][j] - logZ)
+			prob[j] = p
+			norm += p
+		}
+		// Guard against drift: renormalize so gradients stay consistent.
+		if norm > 0 {
+			for j := 0; j < n; j++ {
+				prob[j] /= norm
+			}
+		}
+		prob[inst.Labels[t]] -= 1
+		for j := 0; j < n; j++ {
+			p := prob[j]
+			if p == 0 {
+				continue
+			}
+			grad[m.biasBase+j] += p
+			for _, o := range inst.Obs[t] {
+				grad[o*n+j] += p
+			}
+		}
+	}
+
+	// Edge terms: expected - observed transition counts.
+	edge := make([]float64, n*n)
+	for t := 1; t < T; t++ {
+		tr := lat.trans[t]
+		var norm float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := expSafe(alpha[t-1][i] + tr[i*n+j] + lat.state[t][j] + beta[t][j] - logZ)
+				edge[i*n+j] = p
+				norm += p
+			}
+		}
+		if norm > 0 {
+			for k := range edge {
+				edge[k] /= norm
+			}
+		}
+		edge[inst.Labels[t-1]*n+inst.Labels[t]] -= 1
+		for k, p := range edge {
+			if p == 0 {
+				continue
+			}
+			grad[m.transBase+k] += p
+		}
+		for _, o := range inst.Obs[t] {
+			r := m.transRank[o]
+			if r < 0 {
+				continue
+			}
+			base := m.tobsBase + r*n*n
+			for k, p := range edge {
+				if p != 0 {
+					grad[base+k] += p
+				}
+			}
+		}
+	}
+	return nll
+}
+
+func expSafe(x float64) float64 {
+	if x > 0 {
+		x = 0 // marginal log-probabilities are <= 0 up to rounding
+	}
+	if x < -745 {
+		return 0
+	}
+	return math.Exp(x)
+}
+
+// batchObjective is the full-batch regularized NLL with parallel
+// per-instance evaluation, as the paper's parallel L-BFGS requires.
+type batchObjective struct {
+	m       *Model
+	insts   []Instance
+	workers int
+
+	mu    sync.Mutex
+	grads [][]float64 // per-worker scratch gradients, reused across Evals
+}
+
+func (m *Model) newBatchObjective(insts []Instance, workers int) *batchObjective {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) && len(insts) > 0 {
+		workers = len(insts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &batchObjective{m: m, insts: insts, workers: workers}
+}
+
+func (b *batchObjective) Dim() int { return len(b.m.theta) }
+
+func (b *batchObjective) Eval(theta, grad []float64) float64 {
+	mathx.Fill(grad, 0)
+	if len(b.grads) != b.workers {
+		b.grads = make([][]float64, b.workers)
+		for w := range b.grads {
+			b.grads[w] = make([]float64, len(theta))
+		}
+	}
+	values := make([]float64, b.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := b.grads[w]
+			mathx.Fill(g, 0)
+			var v float64
+			for i := w; i < len(b.insts); i += b.workers {
+				v += b.m.instanceNLL(theta, b.insts[i], g)
+			}
+			values[w] = v
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for w := 0; w < b.workers; w++ {
+		total += values[w]
+		mathx.AXPY(1, b.grads[w], grad)
+	}
+	// L2 regularizer.
+	l2 := b.m.cfg.L2
+	if l2 > 0 {
+		var reg float64
+		for i, th := range theta {
+			reg += th * th
+			grad[i] += l2 * th
+		}
+		total += 0.5 * l2 * reg
+	}
+	return total
+}
+
+// sgdObjective adapts per-instance NLL (plus a per-example share of the
+// regularizer) to optimize.StochasticObjective.
+type sgdObjective struct {
+	m     *Model
+	insts []Instance
+}
+
+func (s *sgdObjective) Dim() int         { return len(s.m.theta) }
+func (s *sgdObjective) NumExamples() int { return len(s.insts) }
+
+func (s *sgdObjective) EvalExample(i int, theta, grad []float64) float64 {
+	v := s.m.instanceNLL(theta, s.insts[i], grad)
+	l2 := s.m.cfg.L2
+	if l2 > 0 {
+		share := l2 / float64(len(s.insts))
+		var reg float64
+		for k, th := range theta {
+			reg += th * th
+			grad[k] += share * th
+		}
+		v += 0.5 * share * reg
+	}
+	return v
+}

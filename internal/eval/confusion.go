@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/labels"
+)
+
+// Confusion is a first-level confusion matrix: Counts[gold][predicted].
+// It backs the error analysis a deployment needs before deciding which
+// records to label next (§5.3).
+type Confusion struct {
+	Counts [labels.NumBlocks][labels.NumBlocks]int
+}
+
+// ConfusionBlocks accumulates the confusion matrix of p over records.
+func ConfusionBlocks(p BlockParser, records []*labels.LabeledRecord) (*Confusion, error) {
+	var c Confusion
+	for _, rec := range records {
+		_, blocks := p.ParseBlocks(rec.Text)
+		if len(blocks) != len(rec.Lines) {
+			return nil, fmt.Errorf("eval: record %s: %d predictions for %d lines",
+				rec.Domain, len(blocks), len(rec.Lines))
+		}
+		for i, b := range blocks {
+			c.Counts[rec.Lines[i].Block][b]++
+		}
+	}
+	return &c, nil
+}
+
+// Total returns the number of classified lines.
+func (c *Confusion) Total() int {
+	t := 0
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			t += c.Counts[i][j]
+		}
+	}
+	return t
+}
+
+// Accuracy returns the trace over the total.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := range c.Counts {
+		diag += c.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// PrecisionRecall returns per-block precision and recall. Blocks with no
+// predictions (or no gold lines) report 1 for the undefined quantity, the
+// convention that keeps perfect parsers at 1.0 across the board.
+func (c *Confusion) PrecisionRecall(b labels.Block) (precision, recall float64) {
+	var predicted, gold int
+	for i := 0; i < labels.NumBlocks; i++ {
+		predicted += c.Counts[i][int(b)]
+		gold += c.Counts[int(b)][i]
+	}
+	tp := c.Counts[int(b)][int(b)]
+	precision, recall = 1, 1
+	if predicted > 0 {
+		precision = float64(tp) / float64(predicted)
+	}
+	if gold > 0 {
+		recall = float64(tp) / float64(gold)
+	}
+	return precision, recall
+}
+
+// Render prints the matrix with per-block precision/recall columns.
+func (c *Confusion) Render() string {
+	var b strings.Builder
+	names := labels.BlockNames()
+	fmt.Fprintf(&b, "%-11s", "gold\\pred")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "precision", "recall")
+	for i, n := range names {
+		fmt.Fprintf(&b, "%-11s", n)
+		for j := range names {
+			fmt.Fprintf(&b, " %10d", c.Counts[i][j])
+		}
+		p, r := c.PrecisionRecall(labels.Block(i))
+		fmt.Fprintf(&b, " %9.4f %9.4f\n", p, r)
+	}
+	fmt.Fprintf(&b, "overall accuracy: %.4f over %d lines\n", c.Accuracy(), c.Total())
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/registry"
+	"repro/internal/synth"
+	"repro/internal/whoisd"
+)
+
+// CrawlResult carries the §4.1 crawl reproduction numbers.
+type CrawlResult struct {
+	Stats          crawler.Stats
+	Coverage       float64
+	FailureRate    float64
+	LimitedServers []string
+	ParsedOK       int
+}
+
+// RunCrawl stands up the simulated com ecosystem on real loopback TCP
+// sockets — a thin registry plus one rate-limited server per registrar —
+// and crawls it with the adaptive two-step crawler, reproducing the §4.1
+// methodology: rate-limit inference, source rotation, three attempts, and
+// the ~7.5% terminal failure tail (modeled as domains whose thick record
+// is gone).
+func RunCrawl(o Options) (CrawlResult, string, error) {
+	o = o.Defaults()
+	domains := synth.Generate(synth.Config{N: o.CrawlSize, Seed: o.Seed + 5})
+	eco := registry.BuildEcosystem(domains, 0.075)
+
+	cluster, err := whoisd.StartCluster(eco, whoisd.ClusterConfig{
+		RegistryLimit:  400,
+		RegistrarLimit: 25,
+		Window:         500 * time.Millisecond,
+		Penalty:        1 * time.Second,
+	})
+	if err != nil {
+		return CrawlResult{}, "", fmt.Errorf("experiments: start cluster: %w", err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cluster.WaitReady(ctx); err != nil {
+		return CrawlResult{}, "", err
+	}
+
+	c, err := crawler.New(crawler.Config{
+		Resolver:        cluster.Directory,
+		Sources:         []string{"127.0.0.2", "127.0.0.3", "127.0.0.4"},
+		Workers:         16,
+		InitialInterval: 2 * time.Millisecond,
+		MaxInterval:     600 * time.Millisecond,
+	})
+	if err != nil {
+		return CrawlResult{}, "", err
+	}
+	names := make([]string, len(domains))
+	for i, d := range domains {
+		names[i] = d.Reg.Domain
+	}
+	results, stats := c.Crawl(ctx, names)
+
+	var res CrawlResult
+	res.Stats = stats
+	res.Coverage = stats.Coverage()
+	res.FailureRate = stats.FailureRate()
+	res.LimitedServers = c.LimitedServers()
+	for _, r := range results {
+		if r.Thick != "" {
+			res.ParsedOK++
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "crawled %d com domains via thin->thick two-step lookups over TCP\n\n", stats.Total)
+	fmt.Fprintf(&b, "thick records obtained: %d (coverage %.1f%%; paper: \"a bit over 90%%\")\n", stats.ThickOK, 100*res.Coverage)
+	fmt.Fprintf(&b, "terminal failures:      %d (%.1f%%; paper: ~7.5%% after 3 attempts)\n", stats.Failures+stats.NoMatch, 100*res.FailureRate)
+	fmt.Fprintf(&b, "rate-limit refusals:    %d (crawler inferred limits and backed off)\n", stats.RateLimitHits)
+	fmt.Fprintf(&b, "retries issued:         %d\n", stats.Retries)
+	fmt.Fprintf(&b, "elapsed:                %v\n\n", stats.Elapsed.Round(time.Millisecond))
+	if len(res.LimitedServers) > 0 {
+		fmt.Fprintf(&b, "servers that rate limited us, with inferred query budgets:\n")
+		for _, s := range res.LimitedServers {
+			fmt.Fprintf(&b, "  %-36s %.1f q/s\n", s, c.InferredRate(s))
+		}
+	}
+	return res, section("§4.1 — WHOIS crawling with rate-limit inference", b.String()), nil
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestRunCrawlShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crawl experiment uses real sockets and pacing delays")
+	}
+	res, text, err := RunCrawl(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage < 0.85 {
+		t.Errorf("coverage %.3f, paper reports >90%%", res.Coverage)
+	}
+	if res.FailureRate > 0.15 {
+		t.Errorf("failure rate %.3f, paper reports ~7.5%%", res.FailureRate)
+	}
+	if res.Stats.RateLimitHits == 0 {
+		t.Error("no rate limiting observed; the adaptation path went unexercised")
+	}
+	if res.ParsedOK == 0 {
+		t.Error("no thick records retrieved")
+	}
+	if text == "" {
+		t.Error("empty output")
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) and survey (§6) on the synthetic ecosystem. Each
+// experiment returns human-readable text mirroring the paper's table or
+// figure, plus structured results the benchmarks assert on.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crf"
+	"repro/internal/labels"
+	"repro/internal/optimize"
+	"repro/internal/synth"
+)
+
+// Options scales the experiments. The defaults reproduce the paper's
+// shapes in minutes; Quick shrinks everything for benchmarks and CI.
+type Options struct {
+	// CorpusSize is the number of labeled com records (the paper's 86K,
+	// scaled). Default 4000.
+	CorpusSize int
+	// TrainSizes are the Figure 2/3 sweep sizes. Default 20/100/1000.
+	TrainSizes []int
+	// Folds for cross-validation. Default 5.
+	Folds int
+	// Seed for all sampling.
+	Seed int64
+	// SurveySize is the parsed-corpus size for §6. Default 30000.
+	SurveySize int
+	// CrawlSize is the number of domains crawled in the §4.1 experiment.
+	// Default 1200.
+	CrawlSize int
+	// MaxIterations caps L-BFGS iterations during sweeps (keeps the
+	// largest training sizes affordable). Default 80.
+	MaxIterations int
+}
+
+// Defaults fills zero fields.
+func (o Options) Defaults() Options {
+	if o.CorpusSize == 0 {
+		o.CorpusSize = 4000
+	}
+	if len(o.TrainSizes) == 0 {
+		o.TrainSizes = []int{20, 100, 1000}
+	}
+	if o.Folds == 0 {
+		o.Folds = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 20151028 // IMC'15 opening day
+	}
+	if o.SurveySize == 0 {
+		o.SurveySize = 30000
+	}
+	if o.CrawlSize == 0 {
+		o.CrawlSize = 1200
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 80
+	}
+	return o
+}
+
+// Quick returns options small enough for unit tests and benchmarks.
+func Quick() Options {
+	return Options{
+		CorpusSize: 600, TrainSizes: []int{20, 100}, Folds: 3,
+		SurveySize: 2000, CrawlSize: 200, MaxIterations: 40,
+	}.Defaults()
+}
+
+// corpusCache memoizes generated corpora per (size, seed) within a
+// process, since several experiments share them.
+var corpusCache sync.Map
+
+// Corpus returns the shared labeled com corpus for the options.
+func Corpus(o Options) []*labels.LabeledRecord {
+	key := fmt.Sprintf("%d/%d", o.CorpusSize, o.Seed)
+	if v, ok := corpusCache.Load(key); ok {
+		return v.([]*labels.LabeledRecord)
+	}
+	recs := synth.GenerateLabeled(synth.Config{N: o.CorpusSize, Seed: o.Seed})
+	corpusCache.Store(key, recs)
+	return recs
+}
+
+// trainConfig is the core.Config used across experiments.
+func trainConfig(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	lbfgs := optimize.DefaultLBFGSConfig()
+	lbfgs.MaxIterations = o.MaxIterations
+	cfg.Train = crf.TrainConfig{LBFGS: lbfgs}
+	return cfg
+}
+
+// TrainParser trains the statistical parser on a subset of the corpus.
+func TrainParser(train []*labels.LabeledRecord, o Options) (*core.Parser, core.TrainStats, error) {
+	return core.Train(train, trainConfig(o))
+}
+
+// section renders a titled block of experiment output.
+func section(title, body string) string {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("=", 72))
+	b.WriteByte('\n')
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("=", 72))
+	b.WriteByte('\n')
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at Quick scale and assert the paper's *shapes*
+// — who wins, and in which direction — not absolute numbers.
+
+func TestFigures23Shape(t *testing.T) {
+	o := Quick()
+	res, text, err := Figures23(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Statistical) != len(o.TrainSizes) || len(res.RuleBased) != len(o.TrainSizes) {
+		t.Fatalf("sweep lengths: %d stat, %d rule", len(res.Statistical), len(res.RuleBased))
+	}
+	for i := range res.Statistical {
+		s, r := res.Statistical[i], res.RuleBased[i]
+		if s.TrainSize != r.TrainSize {
+			t.Fatalf("size mismatch at %d", i)
+		}
+		// Figure 2/3 shape: statistical dominates rule-based.
+		if s.LineMean > r.LineMean {
+			t.Errorf("size %d: statistical line error %.4f worse than rule-based %.4f",
+				s.TrainSize, s.LineMean, r.LineMean)
+		}
+		if s.DocMean > r.DocMean {
+			t.Errorf("size %d: statistical doc error %.4f worse than rule-based %.4f",
+				s.TrainSize, s.DocMean, r.DocMean)
+		}
+	}
+	// Both parsers improve with more data.
+	first, last := res.Statistical[0], res.Statistical[len(res.Statistical)-1]
+	if last.LineMean > first.LineMean+0.005 {
+		t.Errorf("statistical error rose with more data: %.4f -> %.4f", first.LineMean, last.LineMean)
+	}
+	if !strings.Contains(text, "Figures 2 & 3") {
+		t.Error("rendered text missing header")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	text, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"registrant", "registrar", "domain", "date", "other", "null"} {
+		if !strings.Contains(text, label) {
+			t.Errorf("Table 1 output missing label %s", label)
+		}
+	}
+	// The paper's key observation: registrant@T-style features dominate
+	// the registrant row.
+	if !strings.Contains(text, "@T") {
+		t.Error("no title-side features surfaced")
+	}
+}
+
+func TestFigure1Output(t *testing.T) {
+	text, err := Figure1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "->") {
+		t.Error("no transitions rendered")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, text, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d TLD rows, want 12", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Table 2: "There is no case in which the rule-based parser
+		// performs better than the statistical one."
+		if r.StatErrors > r.RuleErrors {
+			t.Errorf("%s: statistical (%d) worse than rule-based (%d)", r.TLD, r.StatErrors, r.RuleErrors)
+		}
+	}
+	if res.RuleTLDsWithErrors <= res.StatTLDsWithErrors {
+		t.Errorf("rule-based failed on %d TLDs, statistical on %d — wrong ordering",
+			res.RuleTLDsWithErrors, res.StatTLDsWithErrors)
+	}
+	// §5.3: adaptation drives statistical errors to (near) zero.
+	if res.AfterAdaptErrors > 1 {
+		t.Errorf("after adaptation: %d errors (paper: 0)", res.AfterAdaptErrors)
+	}
+	if !strings.Contains(text, "coop") {
+		t.Error("output missing coop row")
+	}
+}
+
+func TestSec23Shape(t *testing.T) {
+	res, _, err := Sec23(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeftCoverage <= res.RubyCoverage {
+		t.Errorf("deft coverage %.3f should exceed ruby coverage %.3f",
+			res.DeftCoverage, res.RubyCoverage)
+	}
+	if res.DeftCoverage < 0.8 {
+		t.Errorf("deft coverage %.3f too low (paper: 94%%)", res.DeftCoverage)
+	}
+	if res.DriftSuccess >= res.FreshSuccess {
+		t.Errorf("drift success %.3f should be below fresh success %.3f",
+			res.DriftSuccess, res.FreshSuccess)
+	}
+	if res.GenericRuleRegistrant < 0.2 || res.GenericRuleRegistrant > 0.95 {
+		t.Errorf("generic registrant identification %.3f implausible (pythonwhois: 59%%)",
+			res.GenericRuleRegistrant)
+	}
+}
+
+func TestSurveyShape(t *testing.T) {
+	res, text, err := RunSurvey(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegistrarMatch < 0.9 {
+		t.Errorf("registrar fidelity %.3f", res.RegistrarMatch)
+	}
+	if res.YearMatch < 0.9 {
+		t.Errorf("year fidelity %.3f", res.YearMatch)
+	}
+	if res.PrivacyMatch < 0.9 {
+		t.Errorf("privacy fidelity %.3f", res.PrivacyMatch)
+	}
+	t3all, _ := res.Survey.Table3()
+	if t3all[0].Key != "United States" {
+		t.Errorf("top country %q, want United States (Table 3)", t3all[0].Key)
+	}
+	t5all, _ := res.Survey.Table5()
+	if !strings.Contains(t5all[0].Key, "GoDaddy") {
+		t.Errorf("top registrar %q, want GoDaddy (Table 5)", t5all[0].Key)
+	}
+	for _, want := range []string{"Table 3", "Table 5", "Table 7", "Figure 4a", "Figure 5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("survey output missing %s", want)
+		}
+	}
+}
+
+func TestCorpusMemoized(t *testing.T) {
+	o := Quick()
+	a := Corpus(o)
+	b := Corpus(o)
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("corpus not memoized")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.CorpusSize == 0 || o.Folds == 0 || len(o.TrainSizes) == 0 || o.Seed == 0 {
+		t.Errorf("defaults incomplete: %+v", o)
+	}
+}
+
+func TestFieldsSweepShape(t *testing.T) {
+	res, text, err := FieldsSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Statistical {
+		s, r := res.Statistical[i], res.RuleBased[i]
+		if s.LineMean > r.LineMean+0.02 {
+			t.Errorf("size %d: statistical field error %.4f far above rule-based %.4f",
+				s.TrainSize, s.LineMean, r.LineMean)
+		}
+	}
+	last := res.Statistical[len(res.Statistical)-1]
+	if last.LineMean > 0.05 {
+		t.Errorf("second-level error %.4f too high at size %d", last.LineMean, last.TrainSize)
+	}
+	if !strings.Contains(text, "registrant") {
+		t.Error("output missing metric description")
+	}
+}

@@ -1,0 +1,167 @@
+package identity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42)
+	b := NewGenerator(42)
+	for i := 0; i < 50; i++ {
+		pa := a.Person("US", i%2 == 0)
+		pb := b.Person("US", i%2 == 0)
+		if pa != pb {
+			t.Fatalf("iteration %d: %+v != %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(1).Person("US", true)
+	b := NewGenerator(2).Person("US", true)
+	if a == b {
+		t.Error("different seeds produced identical identities")
+	}
+}
+
+func TestPersonFieldsPopulated(t *testing.T) {
+	g := NewGenerator(7)
+	for _, code := range []string{"US", "CN", "GB", "DE", "JP", "IN", "TR", "VN", "RU", "BR"} {
+		p := g.Person(code, true)
+		if p.Name == "" || !strings.Contains(p.Name, " ") {
+			t.Errorf("%s: bad name %q", code, p.Name)
+		}
+		if p.Street == "" || p.City == "" {
+			t.Errorf("%s: missing address parts: %+v", code, p)
+		}
+		if p.CountryCode != code {
+			t.Errorf("country code %q, want %q", p.CountryCode, code)
+		}
+		if p.Org == "" {
+			t.Errorf("%s: hasOrg person missing org", code)
+		}
+		if !strings.Contains(p.Email, "@") {
+			t.Errorf("%s: bad email %q", code, p.Email)
+		}
+		if !strings.HasPrefix(p.Phone, CountryByCode(code).DialCode) {
+			t.Errorf("%s: phone %q missing dial code %q", code, p.Phone, CountryByCode(code).DialCode)
+		}
+	}
+}
+
+func TestPersonWithoutOrg(t *testing.T) {
+	p := NewGenerator(3).Person("US", false)
+	if p.Org != "" {
+		t.Errorf("hasOrg=false produced org %q", p.Org)
+	}
+}
+
+func TestUnknownCountryFallsBackToUS(t *testing.T) {
+	p := NewGenerator(4).Person("ZZ", false)
+	if p.CountryCode != "US" {
+		t.Errorf("unknown country: got %q, want US fallback", p.CountryCode)
+	}
+}
+
+func TestPostcodeFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := map[string]string{
+		"#####":    "12345",
+		"###-####": "123-4567",
+		"AA# #AA":  "AB1 2CD",
+		"":         "",
+	}
+	for format := range cases {
+		got := Postcode(rng, format)
+		if len(got) != len(format) {
+			t.Errorf("format %q: got %q (length mismatch)", format, got)
+			continue
+		}
+		for i := 0; i < len(format); i++ {
+			switch format[i] {
+			case '#':
+				if got[i] < '0' || got[i] > '9' {
+					t.Errorf("format %q: position %d of %q not a digit", format, i, got)
+				}
+			case 'A':
+				if got[i] < 'A' || got[i] > 'Z' {
+					t.Errorf("format %q: position %d of %q not a letter", format, i, got)
+				}
+			default:
+				if got[i] != format[i] {
+					t.Errorf("format %q: literal %q mangled to %q", format, format[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPostcodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		for _, c := range Countries() {
+			p := Postcode(rng, c.PostcodeFmt)
+			if len(p) != len(c.PostcodeFmt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhoneHasEnoughDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		p := Phone(rng, "+1")
+		digits := 0
+		for _, r := range p {
+			if r >= '0' && r <= '9' {
+				digits++
+			}
+		}
+		if digits < 8 {
+			t.Errorf("phone %q has only %d digits", p, digits)
+		}
+	}
+}
+
+func TestCountriesCoverPaperTables(t *testing.T) {
+	// Every country in Tables 3 and 8 must exist in the pool.
+	for _, code := range []string{"US", "CN", "GB", "DE", "FR", "CA", "ES", "AU", "JP", "IN", "TR", "VN", "RU"} {
+		if CountryByCode(code) == nil {
+			t.Errorf("country %s missing from pool", code)
+		}
+	}
+}
+
+func TestCountryByCodeCaseInsensitive(t *testing.T) {
+	if CountryByCode("us") == nil {
+		t.Error("lower-case lookup failed")
+	}
+	if CountryByCode("nope") != nil {
+		t.Error("bogus code resolved")
+	}
+}
+
+func TestStreet2Format(t *testing.T) {
+	g := NewGenerator(9)
+	sawSuite := false
+	for i := 0; i < 200; i++ {
+		p := g.Person("US", false)
+		if p.Street2 != "" {
+			sawSuite = true
+			if !strings.HasPrefix(p.Street2, "Suite ") {
+				t.Errorf("unexpected street2 %q", p.Street2)
+			}
+		}
+	}
+	if !sawSuite {
+		t.Error("no person ever had a second address line")
+	}
+}

@@ -1,0 +1,184 @@
+package labels
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// The on-disk format for labeled records is a simple sectioned text file:
+//
+//	@@record domain=example.com tld=com registrar=godaddy
+//	@@text
+//	<the raw WHOIS record, verbatim, any number of lines>
+//	@@labels
+//	<block> <field>          one line per retained line of the text
+//	@@end
+//
+// Raw text lines that begin with "@@" are escaped by doubling the prefix.
+
+// WriteRecords serializes records in the sectioned text format.
+func WriteRecords(w io.Writer, records []*LabeledRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if err := writeRecord(bw, r); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("labels: flush records: %w", err)
+	}
+	return nil
+}
+
+func writeRecord(bw *bufio.Writer, r *LabeledRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	// registrar comes last because its value may contain spaces; the
+	// reader takes everything after "registrar=".
+	fmt.Fprintf(bw, "@@record domain=%s tld=%s registrar=%s\n", r.Domain, r.TLD, r.Registrar)
+	bw.WriteString("@@text\n")
+	for _, line := range strings.Split(r.Text, "\n") {
+		if strings.HasPrefix(line, "@@") {
+			bw.WriteString("@@")
+		}
+		bw.WriteString(line)
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("@@labels\n")
+	for _, ln := range r.Lines {
+		fmt.Fprintf(bw, "%s %s\n", ln.Block, ln.Field)
+	}
+	if _, err := bw.WriteString("@@end\n"); err != nil {
+		return fmt.Errorf("labels: write record %s: %w", r.Domain, err)
+	}
+	return nil
+}
+
+// ReadRecords parses the sectioned text format produced by WriteRecords.
+// Line texts in the returned records are re-derived from the raw text by
+// the caller's tokenizer; the Lines slice here carries labels in retained-
+// line order with Text filled from the labels section's position.
+func ReadRecords(r io.Reader) ([]*LabeledRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []*LabeledRecord
+	lineNo := 0
+	next := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		lineNo++
+		return sc.Text(), true
+	}
+	for {
+		header, ok := next()
+		if !ok {
+			break
+		}
+		if strings.TrimSpace(header) == "" {
+			continue
+		}
+		if !strings.HasPrefix(header, "@@record ") {
+			return nil, fmt.Errorf("labels: line %d: expected @@record header, got %q", lineNo, header)
+		}
+		rec := &LabeledRecord{}
+		rest := header[len("@@record "):]
+		if i := strings.Index(rest, " registrar="); i >= 0 {
+			rec.Registrar = rest[i+len(" registrar="):]
+			rest = rest[:i]
+		}
+		for _, kv := range strings.Fields(rest) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("labels: line %d: bad header field %q", lineNo, kv)
+			}
+			switch kv[:eq] {
+			case "domain":
+				rec.Domain = kv[eq+1:]
+			case "tld":
+				rec.TLD = kv[eq+1:]
+			default:
+				return nil, fmt.Errorf("labels: line %d: unknown header key %q", lineNo, kv[:eq])
+			}
+		}
+		if line, ok := next(); !ok || line != "@@text" {
+			return nil, fmt.Errorf("labels: line %d: expected @@text", lineNo)
+		}
+		var textLines []string
+		for {
+			line, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("labels: record %s: unterminated text section", rec.Domain)
+			}
+			if line == "@@labels" {
+				break
+			}
+			if strings.HasPrefix(line, "@@@@") {
+				line = line[2:]
+			} else if strings.HasPrefix(line, "@@") {
+				return nil, fmt.Errorf("labels: line %d: unexpected directive %q inside text", lineNo, line)
+			}
+			textLines = append(textLines, line)
+		}
+		// Each split element of the original text was written with exactly
+		// one terminating newline, so joining the collected lines restores
+		// the text byte for byte, including any trailing blank lines.
+		rec.Text = strings.Join(textLines, "\n")
+		for {
+			line, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("labels: record %s: unterminated labels section", rec.Domain)
+			}
+			if line == "@@end" {
+				break
+			}
+			parts := strings.Fields(line)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("labels: line %d: want \"block field\", got %q", lineNo, line)
+			}
+			b, err := ParseBlock(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("labels: line %d: %w", lineNo, err)
+			}
+			f, err := ParseField(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("labels: line %d: %w", lineNo, err)
+			}
+			rec.Lines = append(rec.Lines, LabeledLine{Block: b, Field: f})
+		}
+		// Recover per-line text for validation convenience.
+		idx := 0
+		for _, raw := range textLines {
+			if !hasAlnumString(raw) {
+				continue
+			}
+			if idx < len(rec.Lines) {
+				rec.Lines[idx].Text = raw
+			}
+			idx++
+		}
+		if idx != len(rec.Lines) {
+			return nil, fmt.Errorf("labels: record %s: %d labels for %d retained lines", rec.Domain, len(rec.Lines), idx)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("labels: read records: %w", err)
+	}
+	return out, nil
+}
+
+// hasAlnumString mirrors the tokenizer's retention rule: a line is
+// labelable iff it contains at least one letter or digit.
+func hasAlnumString(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+// Package mathx provides small numerically careful helpers used by the CRF
+// training and inference code: log-sum-exp reductions, dot products, and
+// vector arithmetic on dense float64 slices.
+//
+// All functions treat math.Inf(-1) as "log of zero" and preserve it through
+// reductions, which lets callers encode impossible transitions directly in
+// log-space score tables.
+package mathx
+
+import "math"
+
+// NegInf is the log-domain representation of probability zero.
+var NegInf = math.Inf(-1)
+
+// LogSumExp returns log(exp(a) + exp(b)) computed without overflow.
+func LogSumExp(a, b float64) float64 {
+	if a == NegInf {
+		return b
+	}
+	if b == NegInf {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogSumExpSlice returns log(sum_i exp(xs[i])). It returns NegInf for an
+// empty slice, matching the convention that an empty sum has probability 0.
+func LogSumExpSlice(xs []float64) float64 {
+	if len(xs) == 0 {
+		return NegInf
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if max == NegInf {
+		return NegInf
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; Dot panics otherwise, because a length mismatch is always a
+// programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// AXPY computes dst[i] += alpha * x[i] in place.
+func AXPY(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("mathx: AXPY length mismatch")
+	}
+	for i, xi := range x {
+		dst[i] += alpha * xi
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		s += xi * xi
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute value in x, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, xi := range x {
+		if a := math.Abs(xi); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// ArgMax returns the index of the largest element of x and its value.
+// It returns (-1, NegInf) for an empty slice.
+func ArgMax(x []float64) (int, float64) {
+	if len(x) == 0 {
+		return -1, NegInf
+	}
+	best, bestV := 0, x[0]
+	for i, xi := range x[1:] {
+		if xi > bestV {
+			best, bestV = i+1, xi
+		}
+	}
+	return best, bestV
+}

@@ -1,0 +1,276 @@
+// Package optimize implements the numerical optimizers used to train the
+// conditional random fields in this repository: a limited-memory BFGS
+// (L-BFGS) with a backtracking Wolfe line search, plain gradient descent as
+// a fallback, and stochastic gradient descent with step decay.
+//
+// The paper ("Who is .com?", IMC 2015, §3.1 and §3.3) estimates CRF
+// parameters by maximizing a convex conditional log-likelihood with L-BFGS,
+// and mentions a parallel implementation; our Objective interface lets the
+// caller evaluate batch gradients across goroutines (see internal/crf).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Objective is a differentiable function to be minimized.
+//
+// Eval must return the function value at theta and write the gradient into
+// grad (which has the same length as theta). Implementations may evaluate
+// the sum over training examples in parallel; Eval itself is called
+// sequentially by the optimizers.
+type Objective interface {
+	Eval(theta []float64, grad []float64) float64
+	Dim() int
+}
+
+// FuncObjective adapts a plain function to the Objective interface.
+type FuncObjective struct {
+	N int
+	F func(theta, grad []float64) float64
+}
+
+// Eval implements Objective.
+func (f FuncObjective) Eval(theta, grad []float64) float64 { return f.F(theta, grad) }
+
+// Dim implements Objective.
+func (f FuncObjective) Dim() int { return f.N }
+
+// Result reports how an optimization run ended.
+type Result struct {
+	X          []float64 // final parameters
+	Value      float64   // final objective value
+	GradNorm   float64   // max-abs of the final gradient
+	Iterations int       // iterations actually performed
+	Converged  bool      // true if the gradient tolerance was met
+	Evals      int       // number of objective evaluations
+}
+
+// LBFGSConfig controls the L-BFGS run. The zero value is not usable; use
+// DefaultLBFGSConfig.
+type LBFGSConfig struct {
+	// History is the number of (s, y) correction pairs retained (m in the
+	// literature). Typical values are 3–20.
+	History int
+	// MaxIterations bounds the outer iteration count.
+	MaxIterations int
+	// GradTol stops the run once the max-abs gradient entry drops below it.
+	GradTol float64
+	// FuncTol stops the run when the relative objective improvement between
+	// successive iterations falls below it.
+	FuncTol float64
+	// MaxLineSearch bounds backtracking steps per iteration.
+	MaxLineSearch int
+	// Callback, when non-nil, observes each accepted iterate. Returning
+	// false stops the run early (reported as converged=false).
+	Callback func(iter int, value float64, gradNorm float64) bool
+}
+
+// DefaultLBFGSConfig returns the configuration used throughout this
+// repository: 7 correction pairs, tight-enough tolerances for the parsing
+// experiments, and a generous iteration budget.
+func DefaultLBFGSConfig() LBFGSConfig {
+	return LBFGSConfig{
+		History:       7,
+		MaxIterations: 200,
+		GradTol:       1e-4,
+		FuncTol:       1e-9,
+		MaxLineSearch: 40,
+	}
+}
+
+// ErrDimension reports a mismatch between the objective dimension and the
+// starting point.
+var ErrDimension = errors.New("optimize: dimension mismatch")
+
+// LBFGS minimizes obj starting from x0 using the two-loop recursion of
+// Nocedal & Wright (Numerical Optimization, 2nd ed., Alg. 7.4-7.5) with a
+// backtracking line search enforcing the Armijo (sufficient decrease)
+// condition and a curvature check before accepting correction pairs.
+func LBFGS(obj Objective, x0 []float64, cfg LBFGSConfig) (Result, error) {
+	n := obj.Dim()
+	if len(x0) != n {
+		return Result{}, fmt.Errorf("%w: objective dim %d, x0 len %d", ErrDimension, n, len(x0))
+	}
+	if cfg.History <= 0 {
+		cfg.History = 7
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 200
+	}
+	if cfg.MaxLineSearch <= 0 {
+		cfg.MaxLineSearch = 40
+	}
+
+	x := mathx.Clone(x0)
+	grad := make([]float64, n)
+	value := obj.Eval(x, grad)
+	evals := 1
+
+	// Correction-pair ring buffers.
+	sHist := make([][]float64, 0, cfg.History)
+	yHist := make([][]float64, 0, cfg.History)
+	rhoHist := make([]float64, 0, cfg.History)
+
+	dir := make([]float64, n)
+	alpha := make([]float64, cfg.History)
+	xNext := make([]float64, n)
+	gradNext := make([]float64, n)
+
+	res := Result{X: x, Value: value, GradNorm: mathx.MaxAbs(grad)}
+	if res.GradNorm <= cfg.GradTol {
+		res.Converged = true
+		res.Evals = evals
+		return res, nil
+	}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// Two-loop recursion: dir = -H grad.
+		copy(dir, grad)
+		k := len(sHist)
+		for i := k - 1; i >= 0; i-- {
+			alpha[i] = rhoHist[i] * mathx.Dot(sHist[i], dir)
+			mathx.AXPY(-alpha[i], yHist[i], dir)
+		}
+		if k > 0 {
+			// Initial Hessian scaling gamma = s·y / y·y from the newest pair.
+			sy := mathx.Dot(sHist[k-1], yHist[k-1])
+			yy := mathx.Dot(yHist[k-1], yHist[k-1])
+			if yy > 0 {
+				mathx.Scale(sy/yy, dir)
+			}
+		}
+		for i := 0; i < k; i++ {
+			beta := rhoHist[i] * mathx.Dot(yHist[i], dir)
+			mathx.AXPY(alpha[i]-beta, sHist[i], dir)
+		}
+		mathx.Scale(-1, dir)
+
+		dirDeriv := mathx.Dot(grad, dir)
+		if dirDeriv >= 0 {
+			// Not a descent direction (numerical trouble); restart with
+			// steepest descent.
+			copy(dir, grad)
+			mathx.Scale(-1, dir)
+			dirDeriv = mathx.Dot(grad, dir)
+			sHist, yHist, rhoHist = sHist[:0], yHist[:0], rhoHist[:0]
+			if dirDeriv == 0 {
+				res.Converged = true
+				break
+			}
+		}
+
+		// Backtracking Armijo line search.
+		step := 1.0
+		if iter == 0 {
+			// First step: scale so the initial move is modest.
+			if g := mathx.Norm2(grad); g > 0 {
+				step = math.Min(1.0, 1.0/g)
+			}
+		}
+		const c1 = 1e-4
+		var valNext float64
+		accepted := false
+		for ls := 0; ls < cfg.MaxLineSearch; ls++ {
+			copy(xNext, x)
+			mathx.AXPY(step, dir, xNext)
+			valNext = obj.Eval(xNext, gradNext)
+			evals++
+			if valNext <= value+c1*step*dirDeriv && !math.IsNaN(valNext) && !math.IsInf(valNext, 0) {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			// Line search failed; the current point is the best we can do.
+			break
+		}
+
+		// Correction pair s = xNext - x, y = gradNext - grad.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = xNext[i] - x[i]
+			y[i] = gradNext[i] - grad[i]
+		}
+		if sy := mathx.Dot(s, y); sy > 1e-10 {
+			if len(sHist) == cfg.History {
+				sHist = append(sHist[1:], s)
+				yHist = append(yHist[1:], y)
+				rhoHist = append(rhoHist[1:], 1/sy)
+			} else {
+				sHist = append(sHist, s)
+				yHist = append(yHist, y)
+				rhoHist = append(rhoHist, 1/sy)
+			}
+		}
+
+		prevValue := value
+		copy(x, xNext)
+		copy(grad, gradNext)
+		value = valNext
+
+		res.Iterations = iter + 1
+		res.Value = value
+		res.GradNorm = mathx.MaxAbs(grad)
+
+		if cfg.Callback != nil && !cfg.Callback(iter+1, value, res.GradNorm) {
+			break
+		}
+		if res.GradNorm <= cfg.GradTol {
+			res.Converged = true
+			break
+		}
+		if rel := math.Abs(prevValue-value) / math.Max(1, math.Abs(prevValue)); rel <= cfg.FuncTol {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.X = x
+	res.Evals = evals
+	return res, nil
+}
+
+// GradientDescent minimizes obj with a fixed number of backtracking
+// steepest-descent steps. It exists as a deliberately simple reference
+// optimizer for tests comparing against L-BFGS.
+func GradientDescent(obj Objective, x0 []float64, steps int, initialStep float64) (Result, error) {
+	n := obj.Dim()
+	if len(x0) != n {
+		return Result{}, fmt.Errorf("%w: objective dim %d, x0 len %d", ErrDimension, n, len(x0))
+	}
+	x := mathx.Clone(x0)
+	grad := make([]float64, n)
+	xNext := make([]float64, n)
+	gradNext := make([]float64, n)
+	value := obj.Eval(x, grad)
+	evals := 1
+	for iter := 0; iter < steps; iter++ {
+		step := initialStep
+		improved := false
+		for ls := 0; ls < 30; ls++ {
+			copy(xNext, x)
+			mathx.AXPY(-step, grad, xNext)
+			v := obj.Eval(xNext, gradNext)
+			evals++
+			if v < value {
+				copy(x, xNext)
+				copy(grad, gradNext)
+				value = v
+				improved = true
+				break
+			}
+			step *= 0.5
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{X: x, Value: value, GradNorm: mathx.MaxAbs(grad), Iterations: steps, Evals: evals, Converged: true}, nil
+}

@@ -1,0 +1,250 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// quadratic builds f(x) = 0.5 Σ c_i (x_i - m_i)^2, whose minimum is m.
+func quadratic(c, m []float64) Objective {
+	return FuncObjective{
+		N: len(c),
+		F: func(theta, grad []float64) float64 {
+			var v float64
+			for i := range theta {
+				d := theta[i] - m[i]
+				v += 0.5 * c[i] * d * d
+				grad[i] = c[i] * d
+			}
+			return v
+		},
+	}
+}
+
+// rosenbrock is the classic banana-valley test function, minimum at (1,1).
+var rosenbrock = FuncObjective{
+	N: 2,
+	F: func(x, g []float64) float64 {
+		a, b := x[0], x[1]
+		g[0] = -2*(1-a) - 400*a*(b-a*a)
+		g[1] = 200 * (b - a*a)
+		return (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+	},
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	c := []float64{1, 10, 0.1, 5}
+	m := []float64{3, -2, 7, 0.5}
+	res, err := LBFGS(quadratic(c, m), make([]float64, 4), DefaultLBFGSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: %+v", res)
+	}
+	for i := range m {
+		if math.Abs(res.X[i]-m[i]) > 1e-3 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], m[i])
+		}
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	cfg := DefaultLBFGSConfig()
+	cfg.MaxIterations = 500
+	cfg.GradTol = 1e-6
+	res, err := LBFGS(rosenbrock, []float64{-1.2, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Errorf("Rosenbrock minimum not found: %v (value %v)", res.X, res.Value)
+	}
+}
+
+func TestLBFGSDimensionMismatch(t *testing.T) {
+	_, err := LBFGS(rosenbrock, make([]float64, 3), DefaultLBFGSConfig())
+	if err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestLBFGSAlreadyConverged(t *testing.T) {
+	c := []float64{1, 1}
+	m := []float64{0, 0}
+	res, err := LBFGS(quadratic(c, m), []float64{0, 0}, DefaultLBFGSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Errorf("starting at the optimum should converge immediately: %+v", res)
+	}
+}
+
+func TestLBFGSCallbackStops(t *testing.T) {
+	cfg := DefaultLBFGSConfig()
+	calls := 0
+	cfg.Callback = func(iter int, v, g float64) bool {
+		calls++
+		return false
+	}
+	res, err := LBFGS(quadratic([]float64{1, 1}, []float64{5, 5}), make([]float64, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("callback called %d times, want 1", calls)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestLBFGSMonotoneDecrease(t *testing.T) {
+	cfg := DefaultLBFGSConfig()
+	var values []float64
+	cfg.Callback = func(iter int, v, g float64) bool {
+		values = append(values, v)
+		return true
+	}
+	if _, err := LBFGS(rosenbrock, []float64{-1.2, 1}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] > values[i-1]+1e-12 {
+			t.Fatalf("objective increased at iter %d: %v -> %v", i, values[i-1], values[i])
+		}
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	c := []float64{2, 2}
+	m := []float64{1, -1}
+	res, err := GradientDescent(quadratic(c, m), make([]float64, 2), 200, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if math.Abs(res.X[i]-m[i]) > 1e-3 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], m[i])
+		}
+	}
+}
+
+func TestLBFGSBeatsGradientDescent(t *testing.T) {
+	// On the ill-conditioned Rosenbrock function, L-BFGS with a fixed
+	// evaluation budget should reach a much lower value.
+	budgetGD, _ := GradientDescent(rosenbrock, []float64{-1.2, 1}, 30, 1e-3)
+	cfg := DefaultLBFGSConfig()
+	cfg.MaxIterations = 30
+	budgetLB, err := LBFGS(rosenbrock, []float64{-1.2, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgetLB.Value >= budgetGD.Value {
+		t.Errorf("L-BFGS (%v) should beat gradient descent (%v) at equal iterations",
+			budgetLB.Value, budgetGD.Value)
+	}
+}
+
+// sumQuadratic is a stochastic objective: mean of per-example quadratics.
+type sumQuadratic struct {
+	centers [][]float64
+}
+
+func (s sumQuadratic) Dim() int         { return len(s.centers[0]) }
+func (s sumQuadratic) NumExamples() int { return len(s.centers) }
+func (s sumQuadratic) EvalExample(i int, theta, grad []float64) float64 {
+	var v float64
+	for k := range theta {
+		d := theta[k] - s.centers[i][k]
+		v += 0.5 * d * d
+		grad[k] += d
+	}
+	return v
+}
+
+func TestSGDFindsMeanOfCenters(t *testing.T) {
+	obj := sumQuadratic{centers: [][]float64{{1, 5}, {3, 7}, {2, 6}}}
+	cfg := DefaultSGDConfig()
+	cfg.Epochs = 200
+	cfg.Eta0 = 0.2
+	cfg.Decay = 0.01
+	res, err := SGD(obj, make([]float64, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimizer of the sum is the mean of the centers: (2, 6).
+	if math.Abs(res.X[0]-2) > 0.1 || math.Abs(res.X[1]-6) > 0.1 {
+		t.Errorf("SGD result %v, want near (2, 6)", res.X)
+	}
+}
+
+func TestSGDDeterministicWithSeed(t *testing.T) {
+	obj := sumQuadratic{centers: [][]float64{{1}, {2}, {3}, {4}}}
+	cfg := DefaultSGDConfig()
+	cfg.Epochs = 5
+	a, err := SGD(obj, []float64{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SGD(obj, []float64{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X[0] != b.X[0] {
+		t.Errorf("same seed produced different results: %v vs %v", a.X[0], b.X[0])
+	}
+}
+
+func TestSGDDimensionMismatch(t *testing.T) {
+	obj := sumQuadratic{centers: [][]float64{{1, 2}}}
+	if _, err := SGD(obj, []float64{0}, DefaultSGDConfig()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSGDCallbackEarlyStop(t *testing.T) {
+	obj := sumQuadratic{centers: [][]float64{{1}, {2}}}
+	cfg := DefaultSGDConfig()
+	cfg.Epochs = 100
+	epochs := 0
+	cfg.Callback = func(e int, loss float64) bool {
+		epochs = e
+		return e < 3
+	}
+	if _, err := SGD(obj, []float64{0}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 3 {
+		t.Errorf("stopped after %d epochs, want 3", epochs)
+	}
+}
+
+func TestLBFGSHighDimensional(t *testing.T) {
+	// A 500-dimensional quadratic with varied curvature converges fast.
+	n := 500
+	c := make([]float64, n)
+	m := make([]float64, n)
+	for i := range c {
+		c[i] = 0.5 + float64(i%17)
+		m[i] = float64(i%5) - 2
+	}
+	res, err := LBFGS(quadratic(c, m), make([]float64, n), DefaultLBFGSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dist float64
+	for i := range m {
+		dist += (res.X[i] - m[i]) * (res.X[i] - m[i])
+	}
+	if math.Sqrt(dist) > 1e-2 {
+		t.Errorf("high-dimensional quadratic: distance to optimum %v", math.Sqrt(dist))
+	}
+	if res.GradNorm > 1e-3 {
+		t.Errorf("gradient norm %v too large", res.GradNorm)
+	}
+	_ = mathx.NegInf
+}

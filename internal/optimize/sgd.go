@@ -1,0 +1,82 @@
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// StochasticObjective exposes a per-example view of a sum-structured
+// objective, as needed by stochastic gradient descent. The total objective
+// is assumed to be (1/NumExamples)·Σ_i f_i(θ) plus any regularizer the
+// implementation folds into EvalExample.
+type StochasticObjective interface {
+	// NumExamples reports how many terms the sum has.
+	NumExamples() int
+	// EvalExample returns f_i(theta) and accumulates ∇f_i into grad
+	// (grad is zeroed by the caller before each call).
+	EvalExample(i int, theta, grad []float64) float64
+	Dim() int
+}
+
+// SGDConfig controls stochastic gradient descent.
+type SGDConfig struct {
+	// Epochs is the number of full passes over the training examples.
+	Epochs int
+	// Eta0 is the initial learning rate.
+	Eta0 float64
+	// Decay controls the 1/(1+Decay·t) step-size schedule, with t counted
+	// in examples processed.
+	Decay float64
+	// Seed seeds the shuffling PRNG so runs are reproducible.
+	Seed int64
+	// Callback, when non-nil, observes the average per-example loss after
+	// each epoch. Returning false stops training early.
+	Callback func(epoch int, avgLoss float64) bool
+}
+
+// DefaultSGDConfig returns the schedule used by the SGD-vs-L-BFGS ablation.
+func DefaultSGDConfig() SGDConfig {
+	return SGDConfig{Epochs: 30, Eta0: 0.1, Decay: 1e-3, Seed: 1}
+}
+
+// SGD minimizes obj by cycling over shuffled examples with a decaying step
+// size. It is the "stochastic gradient descent" routine the paper mentions
+// alongside L-BFGS (§3.3).
+func SGD(obj StochasticObjective, x0 []float64, cfg SGDConfig) (Result, error) {
+	n := obj.Dim()
+	if len(x0) != n {
+		return Result{}, fmt.Errorf("%w: objective dim %d, x0 len %d", ErrDimension, n, len(x0))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.Eta0 <= 0 {
+		cfg.Eta0 = 0.1
+	}
+	x := mathx.Clone(x0)
+	grad := make([]float64, n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(obj.NumExamples())
+	var t int
+	var lastAvg float64
+	evals := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			mathx.Fill(grad, 0)
+			total += obj.EvalExample(idx, x, grad)
+			evals++
+			eta := cfg.Eta0 / (1 + cfg.Decay*float64(t))
+			mathx.AXPY(-eta, grad, x)
+			t++
+		}
+		lastAvg = total / float64(len(order))
+		if cfg.Callback != nil && !cfg.Callback(epoch+1, lastAvg) {
+			break
+		}
+	}
+	return Result{X: x, Value: lastAvg, Iterations: cfg.Epochs, Evals: evals, Converged: true}, nil
+}

@@ -1,0 +1,120 @@
+package rdap
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/synth"
+)
+
+// Server is an HTTP RDAP endpoint serving /domain/{name} lookups over a
+// generated corpus — the structured-data counterfactual to the free-text
+// WHOIS ecosystem in internal/whoisd.
+type Server struct {
+	mu      sync.RWMutex
+	domains map[string]*Domain
+	httpSrv *http.Server
+	addr    string
+}
+
+// NewServer indexes the given corpus.
+func NewServer(domains []*synth.Domain) *Server {
+	s := &Server{domains: make(map[string]*Domain, len(domains))}
+	for _, d := range domains {
+		s.domains[strings.ToLower(d.Reg.Domain)] = FromRegistration(&d.Reg)
+	}
+	return s
+}
+
+// errorResponse is the RDAP error object.
+type errorResponse struct {
+	ErrorCode   int      `json:"errorCode"`
+	Title       string   `json:"title"`
+	Description []string `json:"description,omitempty"`
+}
+
+// ServeHTTP implements http.Handler for /domain/{name}.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/rdap+json")
+	const prefix = "/domain/"
+	if !strings.HasPrefix(r.URL.Path, prefix) {
+		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "unsupported path"})
+		return
+	}
+	name := strings.ToLower(strings.TrimPrefix(r.URL.Path, prefix))
+	s.mu.RLock()
+	d, ok := s.domains[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "domain not found",
+			Description: []string{name + " is not registered here"}})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Listen binds the server to addr ("127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rdap: listen %s: %w", addr, err)
+	}
+	s.addr = l.Addr().String()
+	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(l) }()
+	return s.addr, nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the HTTP server down.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// Client fetches RDAP domain objects.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// Lookup fetches and parses /domain/{name}.
+func (c *Client) Lookup(name string) (*Domain, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := hc.Get(c.BaseURL + "/domain/" + strings.ToLower(name))
+	if err != nil {
+		return nil, fmt.Errorf("rdap: lookup %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("rdap: %s: not found", name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rdap: %s: status %d", name, resp.StatusCode)
+	}
+	var d Domain
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("rdap: decode %s: %w", name, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,81 @@
+package survey
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderRows prints a ranked table in the paper's "Name  Count  (%)"
+// style.
+func RenderRows(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 12
+	for _, r := range rows {
+		if len(r.Key) > width {
+			width = len(r.Key)
+		}
+	}
+	for _, r := range rows {
+		if r.Key == "Total" {
+			fmt.Fprintf(&b, "%s\n", strings.Repeat("-", width+22))
+		}
+		fmt.Fprintf(&b, "%-*s %12d  (%5.1f)\n", width, r.Key, r.Count, r.Pct)
+	}
+	return b.String()
+}
+
+// RenderHistogram prints Figure 4a as an ASCII bar chart.
+func RenderHistogram(title string, counts []YearCount) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := 1
+	for _, yc := range counts {
+		if yc.Count > max {
+			max = yc.Count
+		}
+	}
+	for _, yc := range counts {
+		bar := strings.Repeat("#", yc.Count*50/max)
+		fmt.Fprintf(&b, "%4d %8d %s\n", yc.Year, yc.Count, bar)
+	}
+	return b.String()
+}
+
+// RenderMixes prints Figure 4b as per-year proportion rows.
+func RenderMixes(title string, mixes []YearMix, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s", "year")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %14s", l)
+	}
+	b.WriteByte('\n')
+	for _, m := range mixes {
+		fmt.Fprintf(&b, "%4d", m.Year)
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %13.1f%%", 100*m.Parts[l])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure4bLabels lists the series of Figure 4b in display order.
+func Figure4bLabels() []string {
+	return []string{"Private", "Unknown", "Other", "United States", "China", "United Kingdom", "France", "Germany"}
+}
+
+// RenderRegistrarMixes prints Figure 5's per-registrar top-3 countries.
+func RenderRegistrarMixes(title string, mixes []RegistrarMix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, m := range mixes {
+		fmt.Fprintf(&b, "%-14s", m.Registrar)
+		for _, r := range m.Top {
+			fmt.Fprintf(&b, "  %s %.1f%%", r.Key, r.Pct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

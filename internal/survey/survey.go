@@ -1,0 +1,479 @@
+// Package survey implements the §6 analysis of the paper: given parsed
+// WHOIS records it derives per-domain facts (registrant country, registrar,
+// creation year, privacy protection, organization) and aggregates them
+// into the paper's Tables 3–9 and Figures 4–5.
+package survey
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+)
+
+// Facts are the normalized per-domain values the survey aggregates.
+type Facts struct {
+	Domain      string
+	Registrar   string
+	Country     string // canonical country name; "" = unknown
+	CreatedYear int    // 0 if unparseable
+	Privacy     bool
+	PrivacySvc  string // service name when Privacy
+	Org         string
+	Blacklisted bool // supplied externally (DBL membership)
+}
+
+// privacyKeywords is the "small set of keywords" of §6.3 matched against
+// the registrant name and organization.
+var privacyKeywords = []string{
+	"privacy", "private", "proxy", "whoisguard", "protect",
+	"fbo registrant", "aliyun", "muumuu", "whois agent",
+	"private registration", "happy dreamhost",
+}
+
+// IsPrivacyProtected applies the keyword test to a name/org pair.
+func IsPrivacyProtected(name, org string) bool {
+	s := strings.ToLower(name + " " + org)
+	for _, k := range privacyKeywords {
+		if strings.Contains(s, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// countryCanon maps lower-cased codes and names to canonical names.
+var countryCanon = func() map[string]string {
+	m := make(map[string]string)
+	for code, c := range identity.Countries() {
+		m[strings.ToLower(code)] = c.Name
+		m[strings.ToLower(c.Name)] = c.Name
+	}
+	// Common aliases.
+	m["usa"] = "United States"
+	m["united states of america"] = "United States"
+	m["uk"] = "United Kingdom"
+	m["great britain"] = "United Kingdom"
+	m["korea"] = "South Korea"
+	m["republic of korea"] = "South Korea"
+	return m
+}()
+
+// CanonicalCountry normalizes a registrant country value ("US", "us",
+// "United States") to a canonical name; unknown values map to "".
+func CanonicalCountry(v string) string {
+	return countryCanon[strings.ToLower(strings.TrimSpace(v))]
+}
+
+// dateLayouts covers every date format the registrar schemas emit.
+var dateLayouts = []string{
+	"2006-01-02T15:04:05Z",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"02-Jan-2006 15:04:05 UTC",
+	"02-Jan-2006",
+	"2006/01/02 15:04:05 (JST)",
+	"2006/01/02",
+	"02/01/2006",
+	"02.01.2006",
+	"2006.01.02",
+	"Mon Jan 02 15:04:05 GMT 2006",
+	"Mon Jan 02 2006",
+	"Jan 02, 2006",
+	"Jan 2, 2006",
+	"January 2, 2006",
+	"2 January 2006",
+	"20060102",
+}
+
+// ParseDate parses a WHOIS date string in any of the ecosystem's formats.
+// As a last resort it scans for a plausible 4-digit year.
+func ParseDate(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, false
+	}
+	for _, layout := range dateLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	for i := 0; i+4 <= len(s); i++ {
+		if y, err := strconv.Atoi(s[i : i+4]); err == nil && y >= 1982 && y <= 2030 {
+			if (i == 0 || !isDigit(s[i-1])) && (i+4 == len(s) || !isDigit(s[i+4])) {
+				return time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC), true
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// FactsFrom derives survey facts from one parsed record. The blacklist
+// bit comes from the DBL feed, not from the record.
+func FactsFrom(pr *core.ParsedRecord, blacklisted bool) Facts {
+	f := Facts{
+		Domain:      pr.DomainName,
+		Registrar:   pr.Registrar,
+		Org:         pr.Registrant.Org,
+		Blacklisted: blacklisted,
+	}
+	f.Country = CanonicalCountry(pr.Registrant.Country)
+	if t, ok := ParseDate(pr.CreatedDate); ok {
+		f.CreatedYear = t.Year()
+	}
+	if IsPrivacyProtected(pr.Registrant.Name, pr.Registrant.Org) {
+		f.Privacy = true
+		f.PrivacySvc = pr.Registrant.Name
+		if f.PrivacySvc == "" {
+			f.PrivacySvc = pr.Registrant.Org
+		}
+	}
+	return f
+}
+
+// Row is one line of a ranked table.
+type Row struct {
+	Key   string
+	Count int
+	Pct   float64
+}
+
+// rank turns a count map into rows sorted by descending count, keeping the
+// top n and folding the rest into "(Other)". Keys equal to "" become
+// unknownLabel and are listed after (Other), as in the paper's tables.
+func rank(counts map[string]int, n int, unknownLabel string) []Row {
+	var total, unknown int
+	type kv struct {
+		k string
+		v int
+	}
+	var all []kv
+	for k, v := range counts {
+		total += v
+		if k == "" {
+			unknown += v
+			continue
+		}
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	var rows []Row
+	var other int
+	for i, e := range all {
+		if i < n {
+			rows = append(rows, Row{Key: e.k, Count: e.v})
+		} else {
+			other += e.v
+		}
+	}
+	if other > 0 {
+		rows = append(rows, Row{Key: "(Other)", Count: other})
+	}
+	if unknown > 0 && unknownLabel != "" {
+		rows = append(rows, Row{Key: unknownLabel, Count: unknown})
+	}
+	if total > 0 {
+		for i := range rows {
+			rows[i].Pct = 100 * float64(rows[i].Count) / float64(total)
+		}
+	}
+	rows = append(rows, Row{Key: "Total", Count: total, Pct: 100})
+	return rows
+}
+
+// Survey aggregates facts.
+type Survey struct {
+	facts []Facts
+}
+
+// New builds a survey over the given facts.
+func New(facts []Facts) *Survey { return &Survey{facts: facts} }
+
+// Add appends more facts.
+func (s *Survey) Add(f Facts) { s.facts = append(s.facts, f) }
+
+// Len reports the number of domains surveyed.
+func (s *Survey) Len() int { return len(s.facts) }
+
+// Table3 ranks registrant countries (privacy-protected domains excluded,
+// unknown-country counted) for all time and for 2014 only.
+func (s *Survey) Table3() (allTime, in2014 []Row) {
+	all := make(map[string]int)
+	y2014 := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Privacy {
+			continue
+		}
+		all[f.Country]++
+		if f.CreatedYear == 2014 {
+			y2014[f.Country]++
+		}
+	}
+	return rank(all, 10, "(Unknown)"), rank(y2014, 10, "(Unknown)")
+}
+
+// Table4 counts domains per known brand organization, ranked.
+func (s *Survey) Table4(brands []string) []Row {
+	counts := make(map[string]int)
+	canon := make(map[string]string)
+	for _, b := range brands {
+		canon[strings.ToLower(b)] = b
+	}
+	for _, f := range s.facts {
+		if b, ok := canon[strings.ToLower(f.Org)]; ok {
+			counts[b]++
+		}
+	}
+	var rows []Row
+	for b, c := range counts {
+		rows = append(rows, Row{Key: b, Count: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	return rows
+}
+
+// TopOrgs ranks ALL registrant organizations by domain count — the §6.1
+// observation that domain sellers, online marketers and hosting companies
+// hold the largest portfolios, ahead of the brand companies of Table 4.
+func (s *Survey) TopOrgs(n int) []Row {
+	counts := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Privacy || f.Org == "" {
+			continue
+		}
+		counts[f.Org]++
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	var all []kv
+	for k, v := range counts {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Row, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, Row{Key: e.k, Count: e.v})
+	}
+	return out
+}
+
+// Table5 ranks registrars for all time and 2014.
+func (s *Survey) Table5() (allTime, in2014 []Row) {
+	all := make(map[string]int)
+	y2014 := make(map[string]int)
+	for _, f := range s.facts {
+		all[f.Registrar]++
+		if f.CreatedYear == 2014 {
+			y2014[f.Registrar]++
+		}
+	}
+	return rank(all, 10, "(Unknown)"), rank(y2014, 10, "(Unknown)")
+}
+
+// Table6 ranks registrars among privacy-protected domains.
+func (s *Survey) Table6() []Row {
+	counts := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Privacy {
+			counts[f.Registrar]++
+		}
+	}
+	return rank(counts, 10, "(Unknown)")
+}
+
+// Table7 ranks privacy-protection services.
+func (s *Survey) Table7() []Row {
+	counts := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Privacy {
+			counts[f.PrivacySvc]++
+		}
+	}
+	return rank(counts, 10, "(Unknown)")
+}
+
+// Table8 ranks registrant countries of blacklisted 2014 domains.
+func (s *Survey) Table8() []Row {
+	counts := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Blacklisted && f.CreatedYear == 2014 && !f.Privacy {
+			counts[f.Country]++
+		}
+	}
+	return rank(counts, 10, "(Unknown)")
+}
+
+// Table9 ranks registrars of blacklisted 2014 domains.
+func (s *Survey) Table9() []Row {
+	counts := make(map[string]int)
+	for _, f := range s.facts {
+		if f.Blacklisted && f.CreatedYear == 2014 {
+			counts[f.Registrar]++
+		}
+	}
+	return rank(counts, 10, "(Unknown)")
+}
+
+// YearCount is one histogram bucket for Figure 4a.
+type YearCount struct {
+	Year  int
+	Count int
+}
+
+// Figure4a returns the creation-date histogram.
+func (s *Survey) Figure4a() []YearCount {
+	counts := make(map[int]int)
+	for _, f := range s.facts {
+		if f.CreatedYear > 0 {
+			counts[f.CreatedYear]++
+		}
+	}
+	years := make([]int, 0, len(counts))
+	for y := range counts {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearCount, 0, len(years))
+	for _, y := range years {
+		out = append(out, YearCount{Year: y, Count: counts[y]})
+	}
+	return out
+}
+
+// YearMix is one year's composition for Figure 4b.
+type YearMix struct {
+	Year  int
+	Parts map[string]float64 // label -> proportion; sums to 1
+}
+
+// figure4bCountries are the explicit series of Figure 4b.
+var figure4bCountries = []string{"United States", "China", "United Kingdom", "France", "Germany"}
+
+// Figure4b returns the per-year proportions of the top countries plus
+// Private, Unknown and Other, from firstYear on.
+func (s *Survey) Figure4b(firstYear int) []YearMix {
+	perYear := make(map[int]map[string]int)
+	totals := make(map[int]int)
+	label := func(f Facts) string {
+		if f.Privacy {
+			return "Private"
+		}
+		if f.Country == "" {
+			return "Unknown"
+		}
+		for _, c := range figure4bCountries {
+			if f.Country == c {
+				return c
+			}
+		}
+		return "Other"
+	}
+	for _, f := range s.facts {
+		if f.CreatedYear < firstYear || f.CreatedYear == 0 {
+			continue
+		}
+		m := perYear[f.CreatedYear]
+		if m == nil {
+			m = make(map[string]int)
+			perYear[f.CreatedYear] = m
+		}
+		m[label(f)]++
+		totals[f.CreatedYear]++
+	}
+	years := make([]int, 0, len(perYear))
+	for y := range perYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearMix, 0, len(years))
+	for _, y := range years {
+		mix := YearMix{Year: y, Parts: make(map[string]float64)}
+		for lbl, c := range perYear[y] {
+			mix.Parts[lbl] = float64(c) / float64(totals[y])
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+// RegistrarMix is one registrar's registrant-country composition for
+// Figure 5. Unknown countries appear under the "[]" label, as the paper's
+// figure annotates HiChina's records lacking country information.
+type RegistrarMix struct {
+	Registrar string
+	Top       []Row // top 3 countries (or "[]") with Pct of that registrar
+}
+
+// Figure5 computes the top-3 registrant-country mix for registrars whose
+// name contains one of the given substrings (privacy-protected domains
+// excluded, matching §6.2's treatment).
+func (s *Survey) Figure5(registrarSubstrings []string) []RegistrarMix {
+	out := make([]RegistrarMix, 0, len(registrarSubstrings))
+	for _, sub := range registrarSubstrings {
+		counts := make(map[string]int)
+		total := 0
+		for _, f := range s.facts {
+			if f.Privacy || !strings.Contains(strings.ToLower(f.Registrar), strings.ToLower(sub)) {
+				continue
+			}
+			key := f.Country
+			if key == "" {
+				key = "[]"
+			}
+			counts[key]++
+			total++
+		}
+		type kv struct {
+			k string
+			v int
+		}
+		var all []kv
+		for k, v := range counts {
+			all = append(all, kv{k, v})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].v != all[j].v {
+				return all[i].v > all[j].v
+			}
+			return all[i].k < all[j].k
+		})
+		mix := RegistrarMix{Registrar: sub}
+		for i, e := range all {
+			if i >= 3 {
+				break
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(e.v) / float64(total)
+			}
+			mix.Top = append(mix.Top, Row{Key: e.k, Count: e.v, Pct: pct})
+		}
+		out = append(out, mix)
+	}
+	return out
+}

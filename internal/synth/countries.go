@@ -1,0 +1,76 @@
+package synth
+
+// Country mixes seeded from Table 3. Weights are percentages; "" denotes a
+// registrant with no country information in the record ("Unknown").
+
+type countryWeight struct {
+	code   string
+	weight float64
+}
+
+// countriesAllTime follows the left half of Table 3 (privacy-protected
+// domains excluded there; our generator applies privacy independently).
+var countriesAllTime = []countryWeight{
+	{"US", 47.6}, {"CN", 9.6}, {"GB", 4.7}, {"DE", 3.5}, {"FR", 3.3},
+	{"CA", 3.0}, {"ES", 2.1}, {"AU", 1.8}, {"JP", 1.7}, {"IN", 1.6},
+	// "Other" (17.5%) spread across the rest of the pool.
+	{"IT", 2.6}, {"NL", 2.4}, {"BR", 2.4}, {"RU", 2.2}, {"TR", 2.0},
+	{"KR", 1.8}, {"MX", 1.6}, {"VN", 1.4}, {"HK", 1.1},
+	// "Unknown" (3.4%): no country in the record.
+	{"", 3.4},
+}
+
+// countries2014 follows the right half of Table 3: China surges, the US
+// share falls, Turkey enters the top 10.
+var countries2014 = []countryWeight{
+	{"US", 41.1}, {"CN", 18.2}, {"GB", 3.5}, {"FR", 2.9}, {"CA", 2.5},
+	{"IN", 2.5}, {"JP", 2.1}, {"DE", 1.9}, {"ES", 1.7}, {"TR", 1.7},
+	// "Other" (18.9%).
+	{"IT", 2.6}, {"NL", 2.3}, {"BR", 2.6}, {"RU", 2.4}, {"VN", 2.6},
+	{"KR", 2.0}, {"MX", 1.7}, {"HK", 1.6}, {"AU", 1.2},
+	// "Unknown" (2.9%).
+	{"", 2.9},
+}
+
+// blacklistCountryFactor skews DBL membership by registrant country
+// (Table 8: Japan, China and Vietnam are over-represented among spam
+// domains relative to Table 3).
+var blacklistCountryFactor = map[string]float64{
+	"US": 1.0, "JP": 12.0, "CN": 1.9, "VN": 4.0, "CA": 0.5,
+	"FR": 0.4, "IN": 0.4, "GB": 0.25, "TR": 0.9, "RU": 0.6,
+	"DE": 0.2, "ES": 0.2, "AU": 0.2, "IT": 0.3, "NL": 0.3,
+	"BR": 0.3, "KR": 0.4, "MX": 0.3, "HK": 0.8, "": 1.0,
+}
+
+// brandCompany models Table 4: well-known brands with large defensive
+// portfolios. Weights are proportional to the paper's domain counts.
+type brandCompany struct {
+	name   string
+	weight float64
+}
+
+var brandCompanies = []brandCompany{
+	{"Amazon Technologies, Inc.", 20596},
+	{"AOL Inc.", 17136},
+	{"Microsoft Corporation", 16694},
+	{"21st Century Fox America, Inc.", 14249},
+	{"Warner Bros. Entertainment Inc.", 13674},
+	{"Yahoo! Inc.", 10502},
+	{"Disney Enterprises, Inc.", 10342},
+	{"Google Inc.", 6612},
+	{"AT&T Services, Inc.", 3931},
+	{"eBay Inc.", 2570},
+	{"Nike, Inc.", 2566},
+}
+
+// sellerOrgs models the domain-seller / marketer organizations §6.1 notes
+// hold the very largest portfolios.
+var sellerOrgs = []brandCompany{
+	{"BuyDomains.com", 42000},
+	{"HugeDomains.com", 39000},
+	{"Domain Asset Holdings, LLC", 30000},
+	{"Dex Media, Inc.", 26000},
+	{"Yodle, Inc.", 21000},
+	{"Sakura Internet Inc.", 19000},
+	{"Xserver Inc.", 17000},
+}

@@ -1,0 +1,437 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/labels"
+	"repro/internal/templates"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// N is the number of domains to generate.
+	N int
+	// Seed makes generation reproducible.
+	Seed int64
+	// FirstYear and LastYear bound creation dates (default 1985–2014,
+	// matching the paper's "created through the end of 2014" cut).
+	FirstYear, LastYear int
+	// DriftFraction renders this fraction of records with a drifted
+	// variant of their registrar's schema (format evolution, §2.3).
+	DriftFraction float64
+	// BrandFraction assigns this fraction of eligible domains to the
+	// brand/seller organizations of Table 4 (default 0 = disabled; the
+	// survey experiments enable it).
+	BrandFraction float64
+}
+
+// Domain is one generated registration with its ground truth.
+type Domain struct {
+	Reg       templates.Registration
+	Registrar *RegistrarInfo
+	Schema    *templates.Schema
+	// Drifted reports that Schema is a drifted variant of the registrar's
+	// registered schema.
+	Drifted bool
+	// Blacklisted marks DBL membership (Tables 8–9).
+	Blacklisted bool
+	// BrandOrg is non-empty when the domain belongs to a Table 4 brand or
+	// a §6.1 seller organization.
+	BrandOrg string
+}
+
+// Render produces the WHOIS text and ground-truth labels for the domain.
+func (d *Domain) Render() templates.Rendered { return d.Schema.Render(&d.Reg) }
+
+// Labeled converts the domain to a labels.LabeledRecord.
+func (d *Domain) Labeled() *labels.LabeledRecord {
+	r := d.Render()
+	return &labels.LabeledRecord{
+		Domain:    d.Reg.Domain,
+		TLD:       d.Reg.TLD,
+		Registrar: d.Reg.RegistrarName,
+		Text:      r.Text,
+		Lines:     r.Lines,
+	}
+}
+
+var domainWords = []string{
+	"alpha", "bravo", "cedar", "delta", "ember", "falcon", "garden",
+	"harbor", "island", "jumbo", "karma", "lumen", "mango", "nimbus",
+	"ocean", "prism", "quartz", "river", "summit", "tiger", "umbra",
+	"velvet", "willow", "xenon", "yonder", "zephyr", "bright", "cloud",
+	"digital", "express", "forward", "global", "host", "idea", "jet",
+	"kinetic", "logic", "metro", "nova", "orbit", "pixel", "quick",
+	"rapid", "shop", "trade", "ultra", "vision", "web", "zone", "store",
+	"media", "tech", "data", "smart", "prime", "blue", "green", "red",
+}
+
+// Generator produces synthetic domains deterministically.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	idg    *identity.Generator
+	years  []int
+	yearW  []float64
+	seen   map[string]bool
+	brandW float64
+	selW   float64
+}
+
+// NewGenerator builds a generator with the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.FirstYear == 0 {
+		cfg.FirstYear = 1985
+	}
+	if cfg.LastYear == 0 {
+		cfg.LastYear = 2014
+	}
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		idg:  identity.NewGenerator(cfg.Seed ^ 0x5eed),
+		seen: make(map[string]bool),
+	}
+	// Figure 4a: registrations grow roughly exponentially with time.
+	for y := cfg.FirstYear; y <= cfg.LastYear; y++ {
+		g.years = append(g.years, y)
+		g.yearW = append(g.yearW, math.Exp(0.22*float64(y-1985)))
+	}
+	for _, b := range brandCompanies {
+		g.brandW += b.weight
+	}
+	for _, s := range sellerOrgs {
+		g.selW += s.weight
+	}
+	return g
+}
+
+func sampleWeighted(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func (g *Generator) sampleYear() int {
+	return g.years[sampleWeighted(g.rng, g.yearW)]
+}
+
+func (g *Generator) sampleCountry(year int) string {
+	table := countriesAllTime
+	if year >= 2014 {
+		table = countries2014
+	}
+	weights := make([]float64, len(table))
+	for i, cw := range table {
+		weights[i] = cw.weight
+	}
+	return table[sampleWeighted(g.rng, weights)].code
+}
+
+func (g *Generator) sampleRegistrar(year int, country string) *RegistrarInfo {
+	weights := make([]float64, len(registrarPool))
+	for i, r := range registrarPool {
+		w := r.ShareAll
+		if year >= 2014 {
+			w = r.Share2014
+		}
+		if r.CountryAffinity != nil {
+			if f, ok := r.CountryAffinity[country]; ok {
+				w *= f
+			}
+		}
+		weights[i] = w
+	}
+	return registrarPool[sampleWeighted(g.rng, weights)]
+}
+
+// privacyYearScale ramps privacy adoption up over time so the privacy
+// share of new registrations passes 20% in 2014 (Figure 4b).
+func privacyYearScale(year int) float64 {
+	switch {
+	case year < 2000:
+		return 0.05
+	case year >= 2014:
+		return 1.3
+	default:
+		return 0.05 + 1.25*float64(year-2000)/14
+	}
+}
+
+func (g *Generator) domainName() string {
+	for {
+		var name string
+		switch g.rng.Intn(4) {
+		case 0:
+			name = domainWords[g.rng.Intn(len(domainWords))] + domainWords[g.rng.Intn(len(domainWords))]
+		case 1:
+			name = domainWords[g.rng.Intn(len(domainWords))] + "-" + domainWords[g.rng.Intn(len(domainWords))]
+		case 2:
+			name = fmt.Sprintf("%s%d", domainWords[g.rng.Intn(len(domainWords))], g.rng.Intn(1000))
+		default:
+			name = domainWords[g.rng.Intn(len(domainWords))] + domainWords[g.rng.Intn(len(domainWords))] + domainWords[g.rng.Intn(len(domainWords))]
+		}
+		if !g.seen[name] {
+			g.seen[name] = true
+			return name
+		}
+		// Collision: extend with a numeric suffix and retry.
+		name = fmt.Sprintf("%s%d", name, g.rng.Intn(100000))
+		if !g.seen[name] {
+			g.seen[name] = true
+			return name
+		}
+	}
+}
+
+func (g *Generator) randomDate(year int) time.Time {
+	day := 1 + g.rng.Intn(365)
+	return time.Date(year, 1, 1, g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60), 0, time.UTC).AddDate(0, 0, day-1)
+}
+
+var statusPool = []string{
+	"clientTransferProhibited", "clientDeleteProhibited",
+	"clientUpdateProhibited", "clientRenewProhibited", "ok",
+}
+
+// privacyIdentity builds the placeholder contact a protection service
+// publishes instead of the real registrant.
+func (g *Generator) privacyIdentity(service string, reg *RegistrarInfo) identity.Person {
+	country := "US"
+	switch {
+	case strings.Contains(service, "Aliyun"):
+		country = "CN"
+	case strings.Contains(service, "MuuMuu"), strings.Contains(service, "onamae"):
+		country = "JP"
+	}
+	c := identity.CountryByCode(country)
+	host := strings.TrimPrefix(reg.URL, "http://www.")
+	return identity.Person{
+		Name:        service,
+		Org:         service,
+		Street:      fmt.Sprintf("%d Privacy Plaza", 100+g.rng.Intn(9000)),
+		City:        c.Cities[g.rng.Intn(len(c.Cities))],
+		State:       stateOf(c, g.rng),
+		Postcode:    identity.Postcode(g.rng, c.PostcodeFmt),
+		CountryCode: c.Code,
+		CountryName: c.Name,
+		Phone:       identity.Phone(g.rng, c.DialCode),
+		Email:       fmt.Sprintf("proxy%07d@privacy.%s", g.rng.Intn(10000000), host),
+	}
+}
+
+func stateOf(c *identity.Country, rng *rand.Rand) string {
+	if len(c.States) == 0 {
+		return ""
+	}
+	return c.States[rng.Intn(len(c.States))]
+}
+
+// One generates a single domain.
+func (g *Generator) One() *Domain {
+	year := g.sampleYear()
+	country := g.sampleCountry(year)
+	reg := g.sampleRegistrar(year, country)
+	d := &Domain{Registrar: reg}
+
+	name := g.domainName()
+	created := g.randomDate(year)
+	updated := created.AddDate(0, g.rng.Intn(18), g.rng.Intn(28))
+	expires := created.AddDate(1+g.rng.Intn(5), 0, 0)
+	for !expires.After(time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC)) {
+		expires = expires.AddDate(1, 0, 0)
+	}
+
+	privacy := g.rng.Float64() < reg.PrivacyRate*privacyYearScale(year) && reg.PrivacyService != ""
+
+	var person identity.Person
+	if privacy {
+		person = g.privacyIdentity(reg.PrivacyService, reg)
+	} else {
+		hasOrg := g.rng.Float64() < 0.55
+		if country == "" {
+			person = g.idg.Person("US", hasOrg)
+			person.CountryCode, person.CountryName = "", ""
+		} else {
+			person = g.idg.Person(country, hasOrg)
+		}
+		// Brand/seller portfolios (Table 4, §6.1): US, non-privacy only.
+		if g.cfg.BrandFraction > 0 && country == "US" && g.rng.Float64() < g.cfg.BrandFraction {
+			if g.rng.Float64() < g.brandW/(g.brandW+g.selW) {
+				b := brandCompanies[sampleBrand(g.rng, brandCompanies)]
+				person.Org = b.name
+				d.BrandOrg = b.name
+				// Brands register defensively through corporate registrars.
+				if g.rng.Float64() < 0.7 {
+					reg = corporateRegistrar(g.rng)
+					d.Registrar = reg
+					privacy = false
+				}
+			} else {
+				s := sellerOrgs[sampleBrand(g.rng, sellerOrgs)]
+				person.Org = s.name
+				d.BrandOrg = s.name
+			}
+		}
+	}
+
+	admin := person
+	tech := person
+	if !privacy && g.rng.Float64() < 0.5 {
+		admin = g.idg.Person(orDefault(country, "US"), false)
+	}
+	if !privacy && g.rng.Float64() < 0.5 {
+		tech = g.idg.Person(orDefault(country, "US"), false)
+	}
+
+	nsHost := strings.TrimPrefix(reg.URL, "http://www.")
+	if g.rng.Intn(3) == 0 {
+		nsHost = name + ".com"
+	}
+	statuses := []string{statusPool[g.rng.Intn(2)]}
+	if g.rng.Intn(3) == 0 {
+		statuses = append(statuses, statusPool[2+g.rng.Intn(3)])
+	}
+
+	d.Reg = templates.Registration{
+		Domain:        name + ".com",
+		TLD:           "com",
+		RegistrarName: reg.Name,
+		RegistrarIANA: reg.IANA,
+		RegistrarURL:  reg.URL,
+		WhoisServer:   reg.WhoisServer,
+		Created:       created,
+		Updated:       updated,
+		Expires:       expires,
+		Registrant:    person,
+		Admin:         admin,
+		Tech:          tech,
+		NameServers:   []string{"ns1." + nsHost, "ns2." + nsHost},
+		Statuses:      statuses,
+		Privacy:       privacy,
+	}
+	if privacy {
+		d.Reg.PrivacyService = reg.PrivacyService
+	}
+
+	schema := templates.ByID(reg.SchemaID)
+	if schema == nil {
+		panic("synth: registrar " + reg.Name + " references unknown schema " + reg.SchemaID)
+	}
+	if g.cfg.DriftFraction > 0 && g.rng.Float64() < g.cfg.DriftFraction {
+		schema = templates.Drift(schema, templates.DriftKind(g.rng.Intn(3)))
+		d.Drifted = true
+	}
+	d.Schema = schema
+
+	// DBL membership (Tables 8–9): 2014 domains, skewed by country and
+	// registrar.
+	if year >= 2014 {
+		base := 0.004
+		cf := blacklistCountryFactor[person.CountryCode]
+		if cf == 0 {
+			cf = 0.5
+		}
+		p := base * cf * reg.BlacklistFactor
+		if privacy {
+			p = base * reg.BlacklistFactor // country hidden; registrar skew only
+		}
+		if p > 0.5 {
+			p = 0.5
+		}
+		d.Blacklisted = g.rng.Float64() < p
+	}
+	return d
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func sampleBrand(rng *rand.Rand, pool []brandCompany) int {
+	weights := make([]float64, len(pool))
+	for i, b := range pool {
+		weights[i] = b.weight
+	}
+	return sampleWeighted(rng, weights)
+}
+
+func corporateRegistrar(rng *rand.Rand) *RegistrarInfo {
+	var corp []*RegistrarInfo
+	for _, r := range registrarPool {
+		if strings.Contains(r.Name, "MarkMonitor") || strings.Contains(r.Name, "CSC") {
+			corp = append(corp, r)
+		}
+	}
+	return corp[rng.Intn(len(corp))]
+}
+
+// Generate produces cfg.N domains.
+func Generate(cfg Config) []*Domain {
+	g := NewGenerator(cfg)
+	out := make([]*Domain, cfg.N)
+	for i := range out {
+		out[i] = g.One()
+	}
+	return out
+}
+
+// GenerateLabeled is Generate followed by Labeled on each domain.
+func GenerateLabeled(cfg Config) []*labels.LabeledRecord {
+	domains := Generate(cfg)
+	out := make([]*labels.LabeledRecord, len(domains))
+	for i, d := range domains {
+		out[i] = d.Labeled()
+	}
+	return out
+}
+
+// GenerateNewTLD produces n records in one of the Table 2 new TLDs. Every
+// record follows the TLD's single consistent template.
+func GenerateNewTLD(tld string, n int, seed int64) []*Domain {
+	schema := templates.NewTLDSchema(tld)
+	if schema == nil {
+		panic("synth: unknown new TLD " + tld)
+	}
+	reg := NewTLDRegistrar(tld)
+	g := NewGenerator(Config{N: n, Seed: seed, FirstYear: 2005, LastYear: 2014})
+	out := make([]*Domain, n)
+	for i := range out {
+		d := g.One()
+		base := strings.TrimSuffix(d.Reg.Domain, ".com")
+		d.Reg.Domain = base + "." + tld
+		d.Reg.TLD = tld
+		d.Reg.RegistrarName = reg.Name
+		d.Reg.RegistrarIANA = reg.IANA
+		d.Reg.RegistrarURL = reg.URL
+		d.Reg.WhoisServer = reg.WhoisServer
+		d.Registrar = reg
+		d.Schema = schema
+		d.Drifted = false
+		d.Blacklisted = false
+		out[i] = d
+	}
+	return out
+}
+
+// NewTLDs lists the Table 2 TLDs in the paper's order.
+func NewTLDs() []string {
+	return []string{"aero", "asia", "biz", "coop", "info", "mobi", "name", "org", "pro", "travel", "us", "xxx"}
+}

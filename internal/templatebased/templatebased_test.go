@@ -1,0 +1,136 @@
+package templatebased
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+)
+
+func TestParseMatchesTrainingDistribution(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 600, Seed: 31})
+	p := Build(recs[:400], tokenize.Options{})
+	okDocs, covered := 0, 0
+	var lineErr, lines int
+	for _, rec := range recs[400:] {
+		if !p.HasTemplate(rec.Registrar) {
+			continue
+		}
+		covered++
+		got, blocks, err := p.ParseBlocks(rec.Registrar, rec.Text)
+		if err != nil {
+			continue
+		}
+		okDocs++
+		_ = got
+		for i := range rec.Lines {
+			lines++
+			if blocks[i] != rec.Lines[i].Block {
+				lineErr++
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no coverage at all")
+	}
+	if rate := float64(okDocs) / float64(covered); rate < 0.9 {
+		t.Errorf("in-distribution success only %.3f", rate)
+	}
+	if lines > 0 && float64(lineErr)/float64(lines) > 0.01 {
+		t.Errorf("line error %.4f on successfully parsed records", float64(lineErr)/float64(lines))
+	}
+}
+
+func TestNoTemplateFailsCrisply(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 50, Seed: 32})
+	p := Build(recs, tokenize.Options{})
+	_, _, err := p.ParseBlocks("Unknown Registrar Ltd.", "Domain Name: x.com")
+	if !errors.Is(err, ErrNoTemplate) {
+		t.Errorf("got %v, want ErrNoTemplate", err)
+	}
+}
+
+func TestDriftBreaksTemplates(t *testing.T) {
+	// §2.3: minor format changes cause template parsers to fail on the
+	// vast majority of records.
+	snapshot := synth.GenerateLabeled(synth.Config{N: 800, Seed: 33})
+	p := Build(snapshot, tokenize.Options{})
+	drifted := synth.GenerateLabeled(synth.Config{N: 400, Seed: 34, DriftFraction: 1.0})
+	fails := 0
+	covered := 0
+	for _, rec := range drifted {
+		if !p.HasTemplate(rec.Registrar) {
+			continue
+		}
+		covered++
+		if _, _, err := p.ParseBlocks(rec.Registrar, rec.Text); err != nil {
+			if !errors.Is(err, ErrMismatch) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no covered drifted records")
+	}
+	if rate := float64(fails) / float64(covered); rate < 0.5 {
+		t.Errorf("only %.3f of drifted records failed; template fragility should dominate", rate)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 500, Seed: 35})
+	p := Build(recs[:250], tokenize.Options{})
+	cov := p.Coverage(recs[250:])
+	if cov <= 0.5 || cov > 1.0 {
+		t.Errorf("coverage %.3f out of plausible range", cov)
+	}
+	if p.Coverage(nil) != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestParseFieldsUsesTemplateTitles(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 300, Seed: 36})
+	p := Build(recs, tokenize.Options{})
+	// Find a record with titled registrant lines.
+	for _, rec := range recs {
+		lines, blocks, err := p.ParseBlocks(rec.Registrar, rec.Text)
+		if err != nil {
+			continue
+		}
+		fields, err := p.ParseFields(rec.Registrar, lines, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rec.Lines {
+			if rec.Lines[i].Block != labels.Registrant || !lines[i].HasSep || lines[i].Value == "" {
+				continue
+			}
+			if blocks[i] == labels.Registrant && fields[i] != rec.Lines[i].Field {
+				t.Errorf("record %s line %d: field %v, want %v",
+					rec.Domain, i, fields[i], rec.Lines[i].Field)
+			}
+		}
+		return // one thorough record is enough
+	}
+	t.Fatal("no record parsed cleanly")
+}
+
+func TestParseFieldsNoTemplate(t *testing.T) {
+	p := Build(nil, tokenize.Options{})
+	if _, err := p.ParseFields("nobody", nil, nil); !errors.Is(err, ErrNoTemplate) {
+		t.Errorf("got %v, want ErrNoTemplate", err)
+	}
+}
+
+func TestNumTemplatesGrowsWithRegistrars(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 400, Seed: 37})
+	small := Build(recs[:40], tokenize.Options{})
+	large := Build(recs, tokenize.Options{})
+	if large.NumTemplates() < small.NumTemplates() {
+		t.Errorf("template count shrank: %d -> %d", small.NumTemplates(), large.NumTemplates())
+	}
+}

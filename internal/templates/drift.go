@@ -1,0 +1,77 @@
+package templates
+
+import "strings"
+
+// Format drift (§2.3, footnote 6): registrars change their schema over
+// time — a renamed field title, a different separator, a new date format —
+// and exact-template parsers break. Drift produces a mutated copy of a
+// schema so the experiments can measure that fragility.
+
+// DriftKind selects a mutation.
+type DriftKind int
+
+// The supported drift mutations.
+const (
+	// DriftTitles renames field titles with common synonyms
+	// ("Creation Date" -> "Created Date", "Email" -> "Email Address"...).
+	DriftTitles DriftKind = iota
+	// DriftSeparator changes the title/value separator.
+	DriftSeparator
+	// DriftDates changes the date rendering format.
+	DriftDates
+)
+
+// titleSynonyms maps original title words to drifted replacements. The
+// rewrite applies to whole space-separated words of the pre-styled title.
+var titleSynonyms = map[string]string{
+	"Creation":     "Created",
+	"Expiration":   "Expiry",
+	"Updated":      "Modified",
+	"Organization": "Organisation",
+	"Email":        "Email Address",
+	"Phone":        "Telephone",
+	"Street":       "Address",
+	"Postal":       "Post",
+	"Server":       "Servers",
+}
+
+// Drift returns a copy of s with one mutation applied. The copy's ID gains
+// a "+drift" suffix so template-based parsers keyed by schema identity can
+// still be pointed at the *original* template, which is the failure the
+// paper demonstrates.
+func Drift(s *Schema, kind DriftKind) *Schema {
+	out := *s
+	out.ID = s.ID + "+drift"
+	switch kind {
+	case DriftTitles:
+		inner := s.Title
+		out.Title = func(t string) string {
+			words := strings.Split(t, " ")
+			for i, w := range words {
+				if r, ok := titleSynonyms[w]; ok {
+					words[i] = r
+				}
+			}
+			t = strings.Join(words, " ")
+			if inner != nil {
+				t = inner(t)
+			}
+			return t
+		}
+	case DriftSeparator:
+		switch s.sep() {
+		case ": ":
+			out.Sep = " : "
+		default:
+			out.Sep = ": "
+		}
+	case DriftDates:
+		switch s.DateFmt {
+		case "2006-01-02":
+			out.DateFmt = "02-Jan-2006"
+		default:
+			out.DateFmt = "2006-01-02"
+		}
+	}
+	return &out
+}

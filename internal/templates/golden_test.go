@@ -1,0 +1,94 @@
+package templates
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRegistration is a fixed registration rendered through every
+// schema; the outputs are pinned in testdata/ so any unintended format
+// change — which would silently alter every downstream experiment — fails
+// loudly. Regenerate intentionally with `go test ./internal/templates -run
+// Golden -update`.
+func goldenRegistration() *Registration {
+	reg := sampleRegistration()
+	// Make every optional field deterministic and non-empty so the golden
+	// output exercises the full schema.
+	reg.Registrant.Street2 = "Suite 7"
+	reg.Registrant.Fax = "+1.8585550000"
+	return reg
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// encode serializes a Rendered as text + per-line labels for the golden
+// files, so label drift is caught as well as text drift.
+func encode(r Rendered) string {
+	var b strings.Builder
+	b.WriteString("== text ==\n")
+	b.WriteString(r.Text)
+	b.WriteString("\n== labels ==\n")
+	for _, ln := range r.Lines {
+		fmt.Fprintf(&b, "%s %s\n", ln.Block, ln.Field)
+	}
+	return b.String()
+}
+
+func TestGoldenSchemas(t *testing.T) {
+	reg := goldenRegistration()
+	all := append(append([]*Schema{}, ComSchemas()...), NewTLDSchemas()...)
+	for _, s := range all {
+		got := encode(s.Render(reg))
+		path := goldenPath(s.ID)
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("schema %s: missing golden file (run with -update): %v", s.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("schema %s: output drifted from golden file %s\n--- got ---\n%s",
+				s.ID, path, got)
+		}
+	}
+}
+
+func TestGoldenDriftVariants(t *testing.T) {
+	// Drifted schemas get golden files too: drift must stay deterministic
+	// or the §2.3 fragility experiments lose reproducibility.
+	reg := goldenRegistration()
+	base := ComSchemas()[0]
+	for _, kind := range []DriftKind{DriftTitles, DriftSeparator, DriftDates} {
+		d := Drift(base, kind)
+		got := encode(d.Render(reg))
+		path := goldenPath(fmt.Sprintf("%s.drift%d", base.ID, kind))
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("drift %d: missing golden file (run with -update): %v", kind, err)
+		}
+		if got != string(want) {
+			t.Errorf("drift %d output drifted from golden file", kind)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+package templates
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/identity"
+	"repro/internal/labels"
+)
+
+// The com schema pool. The thin com registry imposes no format, so each
+// registrar renders records its own way (§2.2). We model that diversity
+// with several format *families* — clusters of registrars sharing
+// provisioning software — each with several variants differing in field
+// titles, separators, ordering, and boilerplate, the exact kind of
+// variation that breaks template-based parsers (§2.3).
+
+// comSchemas is populated by init from the family constructors.
+var comSchemas []*Schema
+
+// ComSchemas returns the com format pool in deterministic order.
+func ComSchemas() []*Schema { return comSchemas }
+
+// ByID returns the schema with the given id (com or new-TLD), or nil.
+func ByID(id string) *Schema {
+	for _, s := range comSchemas {
+		if s.ID == id {
+			return s
+		}
+	}
+	for _, s := range newTLDSchemas {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+func init() {
+	comSchemas = append(comSchemas, icannFamily()...)
+	comSchemas = append(comSchemas, netsolFamily()...)
+	comSchemas = append(comSchemas, dotsFamily()...)
+	comSchemas = append(comSchemas, bracketFamily()...)
+	comSchemas = append(comSchemas, lowerFamily()...)
+	comSchemas = append(comSchemas, pctFamily()...)
+	comSchemas = append(comSchemas, oddFamily()...)
+}
+
+// contactOpts parameterizes a titled contact block.
+type contactOpts struct {
+	prefix     string // "Registrant", "Admin", "Owner", ...
+	nameTitle  string // default "Name"
+	orgTitle   string // default "Organization"
+	streetT    string // default "Street"
+	cityT      string
+	stateT     string
+	postT      string
+	countryT   string
+	phoneT     string
+	faxT       string
+	emailT     string
+	idTitle    string // "" = no id line
+	countryFul bool   // render country name instead of ISO code
+}
+
+func (o contactOpts) def() contactOpts {
+	if o.nameTitle == "" {
+		o.nameTitle = "Name"
+	}
+	if o.orgTitle == "" {
+		o.orgTitle = "Organization"
+	}
+	if o.streetT == "" {
+		o.streetT = "Street"
+	}
+	if o.cityT == "" {
+		o.cityT = "City"
+	}
+	if o.stateT == "" {
+		o.stateT = "State/Province"
+	}
+	if o.postT == "" {
+		o.postT = "Postal Code"
+	}
+	if o.countryT == "" {
+		o.countryT = "Country"
+	}
+	if o.phoneT == "" {
+		o.phoneT = "Phone"
+	}
+	if o.faxT == "" {
+		o.faxT = "Fax"
+	}
+	if o.emailT == "" {
+		o.emailT = "Email"
+	}
+	return o
+}
+
+// contactKV renders a contact as titled "Prefix Field: value" lines. For
+// the registrant the second-level ground truth is attached; for other
+// contacts every line is labeled (Other, other).
+func contactKV(sel ContactSel, block labels.Block, o contactOpts) []Element {
+	o = o.def()
+	f := func(fl labels.Field) labels.Field {
+		if block == labels.Registrant {
+			return fl
+		}
+		return labels.FieldOther
+	}
+	t := func(suffix string) string {
+		if o.prefix == "" {
+			return suffix
+		}
+		return o.prefix + " " + suffix
+	}
+	country := CountryCode
+	if o.countryFul {
+		country = CountryName
+	}
+	var els []Element
+	if o.idTitle != "" {
+		els = append(els, KV(block, f(labels.FieldID), t(o.idTitle), idValue(sel)))
+	}
+	els = append(els,
+		KV(block, f(labels.FieldName), t(o.nameTitle), P(sel, Name)),
+		KV(block, f(labels.FieldOrg), t(o.orgTitle), P(sel, Org)),
+		KV(block, f(labels.FieldStreet), t(o.streetT), P(sel, Street)),
+		KV(block, f(labels.FieldStreet), t(o.streetT), P(sel, Street2)),
+		KV(block, f(labels.FieldCity), t(o.cityT), P(sel, City)),
+		KV(block, f(labels.FieldState), t(o.stateT), P(sel, State)),
+		KV(block, f(labels.FieldPostcode), t(o.postT), P(sel, Postcode)),
+		KV(block, f(labels.FieldCountry), t(o.countryT), country2(sel, country)),
+		KV(block, f(labels.FieldPhone), t(o.phoneT), P(sel, PhoneOf)),
+		KV(block, f(labels.FieldFax), t(o.faxT), P(sel, FaxOf)),
+		KV(block, f(labels.FieldEmail), t(o.emailT), P(sel, EmailOf)),
+	)
+	return els
+}
+
+func country2(sel ContactSel, get func(p *identity.Person) string) ValueFn {
+	return func(r *Registration) string { return get(sel(r)) }
+}
+
+// idValue derives a stable registry contact id from the domain name.
+func idValue(sel ContactSel) ValueFn {
+	return func(r *Registration) string {
+		h := 2166136261
+		for _, c := range r.Domain {
+			h = (h ^ int(c)) * 16777619 & 0x7fffffff
+		}
+		return fmt.Sprintf("C%08d-LROR", h%100000000)
+	}
+}
+
+// registryDomainID derives a Verisign-style registry id from the domain.
+func registryDomainID(r *Registration) string {
+	h := 5381
+	for _, c := range r.Domain {
+		h = (h*33 + int(c)) & 0x7fffffff
+	}
+	return fmt.Sprintf("%d_DOMAIN_COM-VRSN", 1000000000+h%999999999)
+}
+
+// ---- ICANN family: the post-2013 RAA format most large registrars use ----
+
+func icannFamily() []*Schema {
+	type variant struct {
+		id        string
+		created   string
+		updated   string
+		expires   string
+		stateT    string
+		postT     string
+		dateFmt   string
+		withAbuse bool
+		withTech  bool
+		statusURL bool
+		notice    []string
+	}
+	variants := []variant{
+		{"icann-0", "Creation Date", "Updated Date", "Registrar Registration Expiration Date", "State/Province", "Postal Code", "2006-01-02T15:04:05Z", true, true, true,
+			[]string{"For more information on Whois status codes, please visit https://icann.org/epp", "The data in this record is provided for information purposes only."}},
+		{"icann-1", "Creation Date", "Updated Date", "Expiration Date", "State", "Postal Code", "2006-01-02", true, true, false,
+			[]string{"The Data in this WHOIS database is provided for information purposes only.", "By submitting a query you agree to abide by this policy."}},
+		{"icann-2", "Created On", "Last Updated On", "Expiration Date", "State/Province", "Zip Code", "02-Jan-2006", false, true, false,
+			[]string{"NOTICE: The expiration date displayed in this record is the date the registrar's sponsorship expires.", "Please consult the registrar for further details."}},
+		{"icann-3", "Registered On", "Last Modified", "Expires On", "Province", "Postcode", "2006/01/02", false, false, false,
+			[]string{"This whois service is provided for query-based access only.", "Abuse of this service will result in your IP being blocked."}},
+		{"icann-4", "Creation Date", "Update Date", "Expiry Date", "State/Province", "Postal Code", "2006-01-02 15:04:05", true, true, true,
+			[]string{"Access to this whois service is rate limited.", "Learn more about domain registration at the registrar website."}},
+		{"icann-5", "Domain Registration Date", "Domain Last Updated Date", "Domain Expiration Date", "State/Province", "Postal Code", "Mon Jan 02 2006", false, true, false,
+			[]string{"The data contained in this registry database is provided for informational purposes only.", "Compilation, repackaging, or other use of this data is expressly prohibited."}},
+		{"icann-6", "Domain Created", "Domain Updated", "Domain Expires", "Region", "Postal Code", "2006-01-02", false, true, false,
+			[]string{"All timestamps are in UTC.", "This information is provided exclusively to assist in obtaining information about domain name registrations."}},
+		{"icann-7", "Activation Date", "Last Update Date", "Registration Expiration Date", "State/Province", "Zip", "02-Jan-2006 15:04:05", true, false, false,
+			[]string{"By submitting a WHOIS query you agree to use the data only for lawful purposes.", "Unsolicited commercial advertising is expressly prohibited."}},
+		{"icann-8", "Registered Date", "Modified Date", "Expires Date", "State", "Post Code", "2006.01.02", false, true, false,
+			[]string{"WHOIS data is provided as is with no guarantee of accuracy.", "The registrar of record is identified above."}},
+		{"icann-9", "Create Date", "Update Date", "Expire Date", "State/Province", "Postal Code", "20060102", false, false, false,
+			[]string{"Registration information current as of the query time.", "Contact the sponsoring registrar for corrections."}},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		regOpts := contactOpts{prefix: "Registrant", stateT: v.stateT, postT: v.postT, idTitle: "ID"}
+		admOpts := contactOpts{prefix: "Admin", stateT: v.stateT, postT: v.postT}
+		techOpts := contactOpts{prefix: "Tech", stateT: v.stateT, postT: v.postT}
+		statusTitle := "Domain Status"
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+			KV(labels.Domain, labels.FieldOther, "Registry Domain ID", registryDomainID),
+			KV(labels.Registrar, labels.FieldOther, "Registrar WHOIS Server", WhoisServer),
+			KV(labels.Registrar, labels.FieldOther, "Registrar URL", RegistrarURL),
+			DateKV(v.updated, Updated),
+			DateKV(v.created, Created),
+			DateKV(v.expires, Expires),
+			KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "Registrar IANA ID", IANA),
+		}
+		if v.withAbuse {
+			els = append(els,
+				KV(labels.Registrar, labels.FieldOther, "Registrar Abuse Contact Email", abuseEmail),
+				KV(labels.Registrar, labels.FieldOther, "Registrar Abuse Contact Phone", abusePhone),
+			)
+		}
+		els = append(els, StatusesKV(statusTitle))
+		els = append(els, contactKV(Registrant, labels.Registrant, regOpts)...)
+		els = append(els, contactKV(Admin, labels.Other, admOpts)...)
+		if v.withTech {
+			els = append(els, contactKV(Tech, labels.Other, techOpts)...)
+		}
+		els = append(els, NameServersKV("Name Server", false))
+		els = append(els, KV(labels.Domain, labels.FieldOther, "DNSSEC", func(*Registration) string { return "unsigned" }))
+		els = append(els, Blank(), Raw(labels.Null, v.notice...))
+		out = append(out, &Schema{ID: v.id, DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}
+
+func abuseEmail(r *Registration) string {
+	host := strings.TrimPrefix(r.RegistrarURL, "http://www.")
+	host = strings.TrimPrefix(host, "https://www.")
+	return "abuse@" + host
+}
+
+func abusePhone(r *Registration) string { return "+1.4805058800" }
+
+// ---- NetSol family: classic block-context style with indented values ----
+
+func netsolFamily() []*Schema {
+	type variant struct {
+		id         string
+		regHeader  string
+		admHeader  string
+		dateFmt    string
+		serversHdr string
+		expiresT   string
+		createdT   string
+		updatedT   string
+	}
+	variants := []variant{
+		{"netsol-0", "Registrant:", "Administrative Contact:", "02-Jan-2006", "Domain servers in listed order:", "Record expires on", "Record created on", "Database last updated on"},
+		{"netsol-1", "Registrant:", "Administrative Contact, Technical Contact:", "2006-01-02", "Domain Name Servers:", "Expires on", "Created on", "Last updated on"},
+		{"netsol-2", "Owner:", "Admin Contact:", "Jan 02, 2006", "Name Servers:", "Expiration date", "Registration date", "Last update"},
+		{"netsol-3", "Registrant Contact:", "Administrative Contact:", "2006.01.02", "Nameservers:", "Valid until", "Registered", "Changed"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+			Blank(),
+			Header(labels.Registrant, labels.FieldOther, v.regHeader),
+			Bare(labels.Registrant, labels.FieldOrg, P(Registrant, Org)),
+			Bare(labels.Registrant, labels.FieldName, P(Registrant, Name)),
+			Bare(labels.Registrant, labels.FieldStreet, P(Registrant, Street)),
+			Bare(labels.Registrant, labels.FieldStreet, P(Registrant, Street2)),
+			Bare(labels.Registrant, labels.FieldCity, CityStateZip(Registrant)),
+			Bare(labels.Registrant, labels.FieldCountry, P(Registrant, CountryName)),
+			Bare(labels.Registrant, labels.FieldEmail, P(Registrant, EmailOf)),
+			Blank(),
+			Header(labels.Other, labels.FieldOther, v.admHeader),
+			Bare(labels.Other, labels.FieldOther, P(Admin, Name)),
+			Bare(labels.Other, labels.FieldOther, P(Admin, Street)),
+			Bare(labels.Other, labels.FieldOther, CityStateZip(Admin)),
+			Bare(labels.Other, labels.FieldOther, P(Admin, PhoneOf)),
+			Bare(labels.Other, labels.FieldOther, P(Admin, EmailOf)),
+			Blank(),
+			DateKV(v.expiresT, Expires),
+			DateKV(v.createdT, Created),
+			DateKV(v.updatedT, Updated),
+			Blank(),
+			Header(labels.Domain, labels.FieldOther, v.serversHdr),
+			NameServersBare(true),
+			Blank(),
+			Raw(labels.Null,
+				"The previous information has been obtained either directly from the registrant",
+				"or a registrar of the domain name other than Network Solutions.",
+				"Network Solutions, therefore, does not guarantee its accuracy or completeness."),
+		}
+		out = append(out, &Schema{ID: v.id, DateFmt: v.dateFmt, Indent: "    ", Elements: els})
+	}
+	return out
+}
+
+// ---- Dots family: dot-aligned titles ----
+
+func dotsFamily() []*Schema {
+	type variant struct {
+		id      string
+		width   int
+		fill    byte
+		upper   bool
+		ownerT  string
+		emailT  string
+		phoneT  string
+		dateFmt string
+	}
+	variants := []variant{
+		{"dots-0", 28, '.', false, "Registrant Name", "Registrant Email", "Registrant Phone", "2006-01-02"},
+		{"dots-1", 24, '.', true, "Owner Name", "Owner Email", "Owner Phone", "02/01/2006"},
+		{"dots-2", 30, ' ', false, "Registrant", "E-mail Address", "Phone Number", "2006-01-02 15:04:05"},
+		{"dots-3", 26, '.', false, "Holder Name", "Holder Email", "Holder Phone", "20060102"},
+		{"dots-4", 32, '.', false, "Registrant Contact Name", "Registrant Contact Email", "Registrant Contact Phone", "02-Jan-2006"},
+		{"dots-5", 22, ' ', true, "Registrant Name", "Registrant Mail", "Registrant Tel", "2006/01/02"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		title := StyleAsIs
+		if v.upper {
+			title = StyleUpper
+		}
+		owner := strings.TrimSuffix(v.ownerT, " Name")
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+			KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "Whois Server", WhoisServer),
+			KV(labels.Registrar, labels.FieldOther, "Referral URL", RegistrarURL),
+			NameServersKV("Name Server", false),
+			StatusesKV("Status"),
+			DateKV("Updated Date", Updated),
+			DateKV("Creation Date", Created),
+			DateKV("Expiration Date", Expires),
+			Blank(),
+			KV(labels.Registrant, labels.FieldName, v.ownerT, P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, owner+" Organization", P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, owner+" Address", P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, owner+" City", P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldState, owner+" State", P(Registrant, State)),
+			KV(labels.Registrant, labels.FieldPostcode, owner+" Zip", P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, owner+" Country", P(Registrant, CountryCode)),
+			KV(labels.Registrant, labels.FieldPhone, v.phoneT, P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, v.emailT, P(Registrant, EmailOf)),
+			Blank(),
+			Raw(labels.Null,
+				"Registration Service Provided By: "+"see registrar above",
+				"This data is provided for information purposes, and to assist persons obtaining",
+				"information about or related to domain name registration records."),
+		}
+		out = append(out, &Schema{ID: v.id, Title: title, AlignWidth: v.width, AlignFill: v.fill, DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}
+
+// ---- Bracket family: Japanese-registrar style "[Field] value" lines ----
+
+func bracketFamily() []*Schema {
+	bracket := func(s string) string { return "[" + s + "]" }
+	type variant struct {
+		id      string
+		dateFmt string
+		nameT   string
+		orgT    string
+	}
+	variants := []variant{
+		{"jp-0", "2006/01/02", "Registrant", "Organization"},
+		{"jp-1", "2006/01/02 15:04:05 (JST)", "Name", "Organization"},
+		{"jp-2", "2006-01-02", "Holder", "Company"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+			KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "Registrar URL", RegistrarURL),
+			DateKV("Created on", Created),
+			DateKV("Expires on", Expires),
+			DateKV("Last updated on", Updated),
+			Blank(),
+			KV(labels.Registrant, labels.FieldName, v.nameT, P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, v.orgT, P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, "Address", P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, "City", P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldState, "Prefecture", P(Registrant, State)),
+			KV(labels.Registrant, labels.FieldPostcode, "Postal code", P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, "Country", P(Registrant, CountryName)),
+			KV(labels.Registrant, labels.FieldPhone, "Phone", P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, "Email", P(Registrant, EmailOf)),
+			Blank(),
+			KV(labels.Other, labels.FieldOther, "Admin Contact", P(Admin, Name)),
+			KV(labels.Other, labels.FieldOther, "Admin Email", P(Admin, EmailOf)),
+			KV(labels.Other, labels.FieldOther, "Tech Contact", P(Tech, Name)),
+			Blank(),
+			NameServersKV("Name Server", false),
+			Blank(),
+			Raw(labels.Null,
+				"To view whois information in Japanese, please access our web whois service.",
+				"Use of this service for commercial purposes is strictly prohibited."),
+		}
+		out = append(out, &Schema{ID: v.id, Title: func(s string) string { return bracket(s) }, Sep: " ", DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}
+
+// ---- Lower family: terse lower-case keys (European reseller style) ----
+
+func lowerFamily() []*Schema {
+	type variant struct {
+		id      string
+		ownerT  string
+		emailT  string
+		dateFmt string
+		snake   bool
+	}
+	variants := []variant{
+		{"lower-0", "owner", "e-mail", "2006-01-02", false},
+		{"lower-1", "holder", "email", "02.01.2006", false},
+		{"lower-2", "registrant name", "registrant email", "2006-01-02 15:04:05", true},
+		{"lower-3", "owner-name", "owner-email", "2006/01/02", false},
+		{"lower-4", "person", "e-mail", "2006.01.02", false},
+		{"lower-5", "org name", "org email", "2006-01-02", true},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		style := StyleLower
+		if v.snake {
+			style = StyleSnake
+		}
+		ownerStem := strings.Split(v.ownerT, " ")[0]
+		ownerStem = strings.Split(ownerStem, "-")[0]
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "domain", Rd(false)),
+			KV(labels.Registrant, labels.FieldName, v.ownerT, P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, ownerStem+" organization", P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, "address", P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, "city", P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldPostcode, "postal code", P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, "country", P(Registrant, CountryCode)),
+			KV(labels.Registrant, labels.FieldPhone, "phone", P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, v.emailT, P(Registrant, EmailOf)),
+			Blank(),
+			KV(labels.Other, labels.FieldOther, "admin-c", P(Admin, Name)),
+			KV(labels.Other, labels.FieldOther, "tech-c", P(Tech, Name)),
+			Blank(),
+			NameServersKV("nserver", false),
+			StatusesKV("status"),
+			DateKV("created", Created),
+			DateKV("modified", Updated),
+			DateKV("expires", Expires),
+			Blank(),
+			KV(labels.Registrar, labels.FieldOther, "registrar", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "www", RegistrarURL),
+			Blank(),
+			Raw(labels.Null,
+				"# The following data is provided by the registrar of record.",
+				"# Query rates are limited; excessive querying will lead to denial of service."),
+		}
+		out = append(out, &Schema{ID: v.id, Title: style, DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}
+
+// ---- Pct family: records headed by %-comment banners ----
+
+func pctFamily() []*Schema {
+	type variant struct {
+		id      string
+		banner  []string
+		dateFmt string
+	}
+	variants := []variant{
+		{"pct-0", []string{"% This is the WHOIS service of the sponsoring registrar.", "% Rights restricted by copyright."}, "2006-01-02"},
+		{"pct-1", []string{"%% WHOIS lookup service", "%% Use of this data for unsolicited email is forbidden."}, "02-Jan-2006 15:04:05 UTC"},
+		{"pct-2", []string{"# Whois data provided by the registrar", "# All timestamps are UTC."}, "2006-01-02T15:04:05Z"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		els := []Element{
+			Raw(labels.Null, v.banner...),
+			Blank(),
+			KV(labels.Domain, labels.FieldOther, "Domain", Rd(false)),
+			StatusesKV("Status"),
+			NameServersKV("Nameserver", false),
+			DateKV("Registered", Created),
+			DateKV("Modified", Updated),
+			DateKV("Expires", Expires),
+			Blank(),
+			Header(labels.Registrant, labels.FieldOther, "Registrant Contact:"),
+			KV(labels.Registrant, labels.FieldName, "  Name", P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, "  Organisation", P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, "  Street", P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, "  City", P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldState, "  State", P(Registrant, State)),
+			KV(labels.Registrant, labels.FieldPostcode, "  Postcode", P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, "  Country", P(Registrant, CountryCode)),
+			KV(labels.Registrant, labels.FieldPhone, "  Telephone", P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, "  Email", P(Registrant, EmailOf)),
+			Blank(),
+			Header(labels.Other, labels.FieldOther, "Technical Contact:"),
+			KV(labels.Other, labels.FieldOther, "  Name", P(Tech, Name)),
+			KV(labels.Other, labels.FieldOther, "  Email", P(Tech, EmailOf)),
+			Blank(),
+			KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "Registrar Website", RegistrarURL),
+		}
+		out = append(out, &Schema{ID: v.id, DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}
+
+// ---- Odd family: one-off unusual formats (the "albygg.com" nod) ----
+
+func oddFamily() []*Schema {
+	var out []*Schema
+
+	// odd-0: everything in one run-on block style with "is" sentences.
+	out = append(out, &Schema{ID: "odd-0", DateFmt: "January 2, 2006", Elements: []Element{
+		KV(labels.Domain, labels.FieldOther, "The domain", Rd(false)),
+		KV(labels.Registrar, labels.FieldOther, "Registered through", RegistrarName),
+		DateKV("Registered on", Created),
+		DateKV("Renewal date", Expires),
+		Blank(),
+		Header(labels.Registrant, labels.FieldOther, "Registered to:"),
+		Bare(labels.Registrant, labels.FieldName, P(Registrant, Name)),
+		Bare(labels.Registrant, labels.FieldStreet, P(Registrant, Street)),
+		Bare(labels.Registrant, labels.FieldCity, CityStateZip(Registrant)),
+		Bare(labels.Registrant, labels.FieldCountry, P(Registrant, CountryName)),
+		Blank(),
+		Header(labels.Domain, labels.FieldOther, "DNS servers:"),
+		NameServersBare(false),
+	}, Indent: "  "})
+
+	// odd-1: uppercase everything, tab separators.
+	out = append(out, &Schema{ID: "odd-1", Title: StyleUpper, Sep: ":\t", DateFmt: "2006-01-02", Elements: []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Registrar Whois", WhoisServer),
+		StatusesKV("Domain Status"),
+		DateKV("Domain Registration Date", Created),
+		DateKV("Domain Expiration Date", Expires),
+		DateKV("Domain Last Updated Date", Updated),
+		Blank(),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone Number", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		Blank(),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact Name", P(Admin, Name)),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact Email", P(Admin, EmailOf)),
+		KV(labels.Other, labels.FieldOther, "Technical Contact Name", P(Tech, Name)),
+		KV(labels.Other, labels.FieldOther, "Technical Contact Email", P(Tech, EmailOf)),
+		Blank(),
+		NameServersKV("Name Server", true),
+	}})
+
+	// odd-2: contact details inline after a "Contact:" sentence.
+	out = append(out, &Schema{ID: "odd-2", DateFmt: "2006-01-02", Elements: []Element{
+		Raw(labels.Null, "*** This whois output is produced by a legacy provisioning system. ***"),
+		Blank(),
+		KV(labels.Domain, labels.FieldOther, "Domain", Rd(false)),
+		KV(labels.Domain, labels.FieldOther, "Primary nameserver", firstNS),
+		KV(labels.Domain, labels.FieldOther, "Secondary nameserver", secondNS),
+		DateKV("Created", Created),
+		DateKV("Expires", Expires),
+		Blank(),
+		Header(labels.Registrant, labels.FieldOther, "Registrant contact details"),
+		KV(labels.Registrant, labels.FieldName, "Full name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Company", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Postal address", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Town", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldPostcode, "Zip", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Country code", P(Registrant, CountryCode)),
+		KV(labels.Registrant, labels.FieldPhone, "Telephone", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldFax, "Telefax", P(Registrant, FaxOf)),
+		KV(labels.Registrant, labels.FieldEmail, "E-mail", P(Registrant, EmailOf)),
+		Blank(),
+		KV(labels.Registrar, labels.FieldOther, "Record maintained by", RegistrarName),
+	}})
+
+	return out
+}
+
+func firstNS(r *Registration) string {
+	if len(r.NameServers) > 0 {
+		return r.NameServers[0]
+	}
+	return ""
+}
+
+func secondNS(r *Registration) string {
+	if len(r.NameServers) > 1 {
+		return r.NameServers[1]
+	}
+	return ""
+}

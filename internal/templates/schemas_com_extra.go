@@ -1,0 +1,226 @@
+package templates
+
+import (
+	"strings"
+
+	"repro/internal/labels"
+)
+
+// Additional com format families, appended to the pool by init. These
+// push the simulated registrar diversity closer to the real com ecosystem
+// (deft-whois shipped 403 com templates): a 1990s InterNIC style with
+// contact handles, dashed section banners, a colonless titles-above-values
+// layout, and mixed-language titles from European resellers.
+
+func init() {
+	comSchemas = append(comSchemas, legacyFamily()...)
+	comSchemas = append(comSchemas, bannerFamily()...)
+	comSchemas = append(comSchemas, colonlessFamily()...)
+	comSchemas = append(comSchemas, intlFamily()...)
+}
+
+// handleFor derives an InterNIC-style contact handle from the domain.
+func handleFor(r *Registration) string {
+	base := strings.ToUpper(strings.TrimSuffix(r.Domain, ".com"))
+	if len(base) > 6 {
+		base = base[:6]
+	}
+	return base + "-DOM"
+}
+
+// ---- Legacy family: 1990s InterNIC output with handles ----
+
+func legacyFamily() []*Schema {
+	type variant struct {
+		id       string
+		dateFmt  string
+		expiresT string
+		createdT string
+		updatedT string
+	}
+	variants := []variant{
+		{"legacy-0", "02-Jan-2006", "Record expires on", "Record created on", "Record last updated on"},
+		{"legacy-1", "2006-01-02", "Expiry date", "Registration date", "Last updated"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+			KV(labels.Domain, labels.FieldOther, "Domain Handle", handleFor),
+			Blank(),
+			Header(labels.Registrant, labels.FieldOther, "Registrant:"),
+			Bare(labels.Registrant, labels.FieldOrg, P(Registrant, Org)),
+			Bare(labels.Registrant, labels.FieldName, P(Registrant, Name)),
+			Bare(labels.Registrant, labels.FieldStreet, P(Registrant, Street)),
+			Bare(labels.Registrant, labels.FieldCity, CityStateZip(Registrant)),
+			Bare(labels.Registrant, labels.FieldCountry, P(Registrant, CountryCode)),
+			Blank(),
+			Header(labels.Other, labels.FieldOther, "Administrative Contact, Billing Contact:"),
+			Bare(labels.Other, labels.FieldOther, P(Admin, Name)),
+			Bare(labels.Other, labels.FieldOther, P(Admin, EmailOf)),
+			Bare(labels.Other, labels.FieldOther, P(Admin, PhoneOf)),
+			Blank(),
+			DateKV(v.updatedT, Updated),
+			DateKV(v.createdT, Created),
+			DateKV(v.expiresT, Expires),
+			Blank(),
+			Header(labels.Domain, labels.FieldOther, "Domain servers in listed order:"),
+			NameServersBare(true),
+			Blank(),
+			Raw(labels.Null,
+				"The data above has been copied from the registry database for informational",
+				"purposes only, and its accuracy is not guaranteed."),
+		}
+		out = append(out, &Schema{ID: v.id, DateFmt: v.dateFmt, Indent: "   ", Elements: els})
+	}
+	return out
+}
+
+// ---- Banner family: dashed section banners between blocks ----
+
+func bannerFamily() []*Schema {
+	type variant struct {
+		id     string
+		banner func(title string) string
+	}
+	variants := []variant{
+		{"banner-0", func(t string) string { return "-- " + t + " --" }},
+		{"banner-1", func(t string) string { return "=== " + t + " ===" }},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		banner := v.banner
+		els := []Element{
+			Raw(labels.Null, banner("Whois Record")),
+			KV(labels.Domain, labels.FieldOther, "Domain", Rd(false)),
+			StatusesKV("Status"),
+			NameServersKV("Name Server", false),
+			Blank(),
+			Header(labels.Date, labels.FieldOther, banner("Important Dates")),
+			DateKV("Created", Created),
+			DateKV("Changed", Updated),
+			DateKV("Expires", Expires),
+			Blank(),
+			Header(labels.Registrant, labels.FieldOther, banner("Registrant Information")),
+			KV(labels.Registrant, labels.FieldName, "Name", P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, "Organization", P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, "Street", P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, "City", P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldState, "State", P(Registrant, State)),
+			KV(labels.Registrant, labels.FieldPostcode, "Zip Code", P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, "Country", P(Registrant, CountryCode)),
+			KV(labels.Registrant, labels.FieldPhone, "Phone", P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, "Email", P(Registrant, EmailOf)),
+			Blank(),
+			Header(labels.Other, labels.FieldOther, banner("Administrative Contact")),
+			KV(labels.Other, labels.FieldOther, "Name", P(Admin, Name)),
+			KV(labels.Other, labels.FieldOther, "Email", P(Admin, EmailOf)),
+			Blank(),
+			Header(labels.Registrar, labels.FieldOther, banner("Registrar")),
+			KV(labels.Registrar, labels.FieldOther, "Registrar Name", RegistrarName),
+			KV(labels.Registrar, labels.FieldOther, "Registrar Web", RegistrarURL),
+			Blank(),
+			Raw(labels.Null, banner("End of Record")),
+		}
+		out = append(out, &Schema{ID: v.id, DateFmt: "2006-01-02 15:04:05", Elements: els})
+	}
+	return out
+}
+
+// ---- Colonless family: titles and values on alternating lines ----
+
+// colonlessPair renders "Title" then an indented value line. The title
+// line carries the block with FieldOther; the value line carries the
+// field-level ground truth. Separator-based parsers get no help here —
+// only layout (SHR) and lexical context identify the structure.
+func colonlessPair(block labels.Block, field labels.Field, title string, value ValueFn) Element {
+	return Dyn(func(s *Schema, r *Registration) []labels.LabeledLine {
+		v := value(r)
+		if v == "" {
+			return nil
+		}
+		return []labels.LabeledLine{
+			{Text: s.styleTitle(title), Block: block, Field: labels.FieldOther},
+			{Text: "    " + v, Block: block, Field: field},
+		}
+	})
+}
+
+func colonlessFamily() []*Schema {
+	els := []Element{
+		colonlessPair(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		colonlessPair(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		Blank(),
+		colonlessPair(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		colonlessPair(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		colonlessPair(labels.Registrant, labels.FieldStreet, "Registrant Address", P(Registrant, Street)),
+		colonlessPair(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		colonlessPair(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		colonlessPair(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		Blank(),
+		Dyn(func(s *Schema, r *Registration) []labels.LabeledLine {
+			return []labels.LabeledLine{
+				{Text: "Creation Date", Block: labels.Date, Field: labels.FieldOther},
+				{Text: "    " + s.date(r.Created), Block: labels.Date, Field: labels.FieldOther},
+				{Text: "Expiration Date", Block: labels.Date, Field: labels.FieldOther},
+				{Text: "    " + s.date(r.Expires), Block: labels.Date, Field: labels.FieldOther},
+			}
+		}),
+		Blank(),
+		NameServersKV("Name Server", false),
+	}
+	return []*Schema{{ID: "noline-0", DateFmt: "2006-01-02", Elements: els}}
+}
+
+// ---- Intl family: mixed-language field titles ----
+
+func intlFamily() []*Schema {
+	type variant struct {
+		id      string
+		titles  map[string]string
+		dateFmt string
+	}
+	variants := []variant{
+		{"intl-fr", map[string]string{
+			"name": "Nom du titulaire", "org": "Organisation", "street": "Adresse",
+			"city": "Ville", "post": "Code postal", "country": "Pays",
+			"phone": "Telephone", "email": "Courriel",
+			"created": "Date de creation", "expires": "Date d'expiration",
+			"registrar": "Registraire", "domain": "Nom de domaine",
+		}, "02/01/2006"},
+		{"intl-es", map[string]string{
+			"name": "Nombre del titular", "org": "Organizacion", "street": "Direccion",
+			"city": "Ciudad", "post": "Codigo postal", "country": "Pais",
+			"phone": "Telefono", "email": "Correo electronico",
+			"created": "Fecha de creacion", "expires": "Fecha de expiracion",
+			"registrar": "Registrador", "domain": "Nombre de dominio",
+		}, "02-01-2006"},
+	}
+	var out []*Schema
+	for _, v := range variants {
+		tt := v.titles
+		els := []Element{
+			KV(labels.Domain, labels.FieldOther, tt["domain"], Rd(false)),
+			KV(labels.Registrar, labels.FieldOther, tt["registrar"], RegistrarName),
+			DateKV(tt["created"], Created),
+			DateKV(tt["expires"], Expires),
+			Blank(),
+			KV(labels.Registrant, labels.FieldName, tt["name"], P(Registrant, Name)),
+			KV(labels.Registrant, labels.FieldOrg, tt["org"], P(Registrant, Org)),
+			KV(labels.Registrant, labels.FieldStreet, tt["street"], P(Registrant, Street)),
+			KV(labels.Registrant, labels.FieldCity, tt["city"], P(Registrant, City)),
+			KV(labels.Registrant, labels.FieldPostcode, tt["post"], P(Registrant, Postcode)),
+			KV(labels.Registrant, labels.FieldCountry, tt["country"], P(Registrant, CountryName)),
+			KV(labels.Registrant, labels.FieldPhone, tt["phone"], P(Registrant, PhoneOf)),
+			KV(labels.Registrant, labels.FieldEmail, tt["email"], P(Registrant, EmailOf)),
+			Blank(),
+			NameServersKV("DNS", false),
+			Blank(),
+			Raw(labels.Null,
+				"Les informations ci-dessus sont fournies a titre indicatif.",
+				"Este servicio se proporciona con fines informativos unicamente."),
+		}
+		out = append(out, &Schema{ID: v.id, DateFmt: v.dateFmt, Elements: els})
+	}
+	return out
+}

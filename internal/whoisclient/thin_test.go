@@ -1,0 +1,48 @@
+package whoisclient
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+func TestParseThinAgainstGenerator(t *testing.T) {
+	domains := synth.Generate(synth.Config{N: 40, Seed: 901})
+	for _, d := range domains {
+		thin := registry.ThinRecord(d)
+		got := ParseThin(thin)
+		if got.DomainName != d.Reg.Domain {
+			t.Errorf("domain %q, want %q", got.DomainName, d.Reg.Domain)
+		}
+		if got.Registrar != d.Reg.RegistrarName {
+			t.Errorf("registrar %q, want %q", got.Registrar, d.Reg.RegistrarName)
+		}
+		if got.WhoisServer != d.Reg.WhoisServer {
+			t.Errorf("whois server %q, want %q", got.WhoisServer, d.Reg.WhoisServer)
+		}
+		if len(got.NameServers) != len(d.Reg.NameServers) {
+			t.Errorf("%d name servers, want %d", len(got.NameServers), len(d.Reg.NameServers))
+		}
+		if got.Created.Year() != d.Reg.Created.Year() {
+			t.Errorf("created %v, want year %d", got.Created, d.Reg.Created.Year())
+		}
+		if got.Expires.Year() != d.Reg.Expires.Year() {
+			t.Errorf("expires %v, want year %d", got.Expires, d.Reg.Expires.Year())
+		}
+		if len(got.Statuses) == 0 {
+			t.Error("no statuses parsed")
+		}
+	}
+}
+
+func TestParseThinTolerant(t *testing.T) {
+	got := ParseThin("garbage\nno colon here\n: empty key\nRegistrar: X\n")
+	if got.Registrar != "X" {
+		t.Errorf("registrar %q", got.Registrar)
+	}
+	empty := ParseThin("")
+	if empty.Registrar != "" || len(empty.NameServers) != 0 {
+		t.Errorf("empty input parsed to %+v", empty)
+	}
+}

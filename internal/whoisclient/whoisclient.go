@@ -1,0 +1,172 @@
+// Package whoisclient implements the client side of the RFC 3912 WHOIS
+// protocol, including the two-step thin→thick resolution used for com
+// (§2.2): query the registry for the thin record, extract the sponsoring
+// registrar's WHOIS server from it, then query that server for the thick
+// record.
+package whoisclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// Resolver maps a logical WHOIS server name ("whois.godaddy.com") to a
+// dialable TCP address. Production use would be plain DNS; the simulated
+// cluster provides its Directory.
+type Resolver interface {
+	Resolve(serverName string) (string, error)
+}
+
+// ResolverFunc adapts a function to Resolver.
+type ResolverFunc func(string) (string, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(name string) (string, error) { return f(name) }
+
+// Client issues WHOIS queries.
+type Client struct {
+	// Resolver maps server names to addresses; required.
+	Resolver Resolver
+	// Timeout bounds a whole query round trip (default 10s).
+	Timeout time.Duration
+	// LocalIP, when non-empty, binds outgoing connections to this source
+	// address — the crawler uses distinct loopback addresses to model its
+	// pool of crawl machines.
+	LocalIP string
+	// MaxResponse bounds the accepted response size (default 1 MiB).
+	MaxResponse int64
+}
+
+// Errors the client distinguishes.
+var (
+	ErrRateLimited = errors.New("whoisclient: rate limited by server")
+	ErrNoMatch     = errors.New("whoisclient: no match for domain")
+	ErrNoReferral  = errors.New("whoisclient: thin record carries no registrar whois server")
+	ErrEmpty       = errors.New("whoisclient: empty response")
+)
+
+// Query sends one query to the named server and returns the raw response.
+func (c *Client) Query(ctx context.Context, serverName, query string) (string, error) {
+	if c.Resolver == nil {
+		return "", errors.New("whoisclient: nil resolver")
+	}
+	addr, err := c.Resolver.Resolve(serverName)
+	if err != nil {
+		return "", fmt.Errorf("whoisclient: resolve %s: %w", serverName, err)
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	if c.LocalIP != "" {
+		dialer.LocalAddr = &net.TCPAddr{IP: net.ParseIP(c.LocalIP)}
+	}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("whoisclient: dial %s (%s): %w", serverName, addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+
+	if _, err := io.WriteString(conn, query+"\r\n"); err != nil {
+		return "", fmt.Errorf("whoisclient: send query to %s: %w", serverName, err)
+	}
+	limit := c.MaxResponse
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	data, err := io.ReadAll(io.LimitReader(bufio.NewReader(conn), limit))
+	if err != nil {
+		return "", fmt.Errorf("whoisclient: read response from %s: %w", serverName, err)
+	}
+	resp := strings.ReplaceAll(string(data), "\r\n", "\n")
+	resp = strings.TrimRight(resp, "\n")
+	switch {
+	case resp == "":
+		return "", ErrEmpty
+	case IsRateLimited(resp):
+		return resp, ErrRateLimited
+	case IsNoMatch(resp):
+		return resp, ErrNoMatch
+	}
+	return resp, nil
+}
+
+// IsRateLimited recognizes rate-limit refusals. Real servers use varied
+// phrasings; we match common refusal markers, but only in the first lines
+// of the response — legitimate records often carry boilerplate like
+// "query rates are limited", which must not be mistaken for a refusal.
+func IsRateLimited(resp string) bool {
+	head := resp
+	if i := strings.IndexByte(head, '\n'); i >= 0 {
+		if j := strings.IndexByte(head[i+1:], '\n'); j >= 0 {
+			head = head[:i+1+j]
+		}
+	}
+	l := strings.ToLower(head)
+	return strings.Contains(l, "rate exceeded") ||
+		strings.Contains(l, "access temporarily denied") ||
+		strings.Contains(l, "too many requests") ||
+		strings.Contains(l, "lookup quota exceeded")
+}
+
+// IsNoMatch recognizes negative answers.
+func IsNoMatch(resp string) bool {
+	l := strings.ToLower(resp)
+	return strings.HasPrefix(l, "no match") || strings.Contains(l, "not found")
+}
+
+// ExtractReferral pulls the registrar WHOIS server name out of a thin
+// record, checking the common field spellings.
+func ExtractReferral(thin string) (string, bool) {
+	for _, line := range strings.Split(thin, "\n") {
+		line = strings.TrimSpace(line)
+		lower := strings.ToLower(line)
+		for _, key := range []string{"registrar whois server:", "whois server:", "whois:"} {
+			if strings.HasPrefix(lower, key) {
+				v := strings.TrimSpace(line[len(key):])
+				if v != "" {
+					return v, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// ThickResult is the outcome of a two-step lookup.
+type ThickResult struct {
+	Domain      string
+	Thin        string
+	Thick       string
+	WhoisServer string
+}
+
+// LookupThick performs the two-step com resolution: thin from the
+// registry, referral extraction, thick from the registrar.
+func (c *Client) LookupThick(ctx context.Context, registryServer, domain string) (*ThickResult, error) {
+	thin, err := c.Query(ctx, registryServer, domain)
+	if err != nil {
+		return nil, fmt.Errorf("whoisclient: thin lookup %s: %w", domain, err)
+	}
+	server, ok := ExtractReferral(thin)
+	if !ok {
+		return &ThickResult{Domain: domain, Thin: thin}, ErrNoReferral
+	}
+	thick, err := c.Query(ctx, server, domain)
+	if err != nil {
+		return &ThickResult{Domain: domain, Thin: thin, WhoisServer: server}, fmt.Errorf("whoisclient: thick lookup %s at %s: %w", domain, server, err)
+	}
+	return &ThickResult{Domain: domain, Thin: thin, Thick: thick, WhoisServer: server}, nil
+}

@@ -1,0 +1,188 @@
+package whoisclient
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExtractReferral(t *testing.T) {
+	cases := []struct {
+		thin string
+		want string
+		ok   bool
+	}{
+		{"   Whois Server: whois.godaddy.com\n", "whois.godaddy.com", true},
+		{"Registrar WHOIS Server: whois.enom.com", "whois.enom.com", true},
+		{"whois: whois.x.com", "whois.x.com", true},
+		{"WHOIS SERVER: WHOIS.CAPS.COM", "WHOIS.CAPS.COM", true},
+		{"Registrar: GoDaddy", "", false},
+		{"Whois Server:", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := ExtractReferral(c.thin)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ExtractReferral(%q) = (%q, %v), want (%q, %v)", c.thin, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIsRateLimited(t *testing.T) {
+	yes := []string{
+		"% Query rate exceeded. Access temporarily denied.",
+		"ERROR: too many requests",
+		"lookup quota exceeded for your IP",
+	}
+	for _, s := range yes {
+		if !IsRateLimited(s) {
+			t.Errorf("IsRateLimited(%q) = false", s)
+		}
+	}
+	no := []string{
+		"Domain Name: x.com",
+		// Boilerplate deep inside a legitimate record must not trip the
+		// detector (this was a real bug: "query rates are limited").
+		"Domain Name: x.com\nRegistrar: Y\nowner: Z\n# Query rates are limited; excessive querying will lead to denial of service.",
+	}
+	for _, s := range no {
+		if IsRateLimited(s) {
+			t.Errorf("IsRateLimited(%q) = true", s)
+		}
+	}
+}
+
+func TestIsNoMatch(t *testing.T) {
+	if !IsNoMatch("No match for domain.") {
+		t.Error("no match not detected")
+	}
+	if !IsNoMatch("Object not found in database") {
+		t.Error("not found not detected")
+	}
+	if IsNoMatch("Domain Name: x.com") {
+		t.Error("false positive")
+	}
+}
+
+func TestQueryNilResolver(t *testing.T) {
+	c := &Client{}
+	if _, err := c.Query(context.Background(), "whois.x.com", "x.com"); err == nil {
+		t.Fatal("expected error with nil resolver")
+	}
+}
+
+func TestQueryResolveError(t *testing.T) {
+	c := &Client{Resolver: ResolverFunc(func(name string) (string, error) {
+		return "", errors.New("boom")
+	})}
+	_, err := c.Query(context.Background(), "whois.x.com", "x.com")
+	if err == nil || !strings.Contains(err.Error(), "resolve") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestQueryDialError(t *testing.T) {
+	c := &Client{Resolver: ResolverFunc(func(name string) (string, error) {
+		// A port nothing listens on.
+		return "127.0.0.1:1", nil
+	})}
+	if _, err := c.Query(context.Background(), "whois.x.com", "x.com"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+// startRawServer runs a raw TCP server driven by fn for failure injection.
+func startRawServer(t *testing.T, fn func(c net.Conn)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go fn(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func fixedResolver(addr string) Resolver {
+	return ResolverFunc(func(string) (string, error) { return addr, nil })
+}
+
+func TestQueryTimesOutOnHangingServer(t *testing.T) {
+	addr := startRawServer(t, func(c net.Conn) {
+		// Accept, read the query, then hang without answering.
+		buf := make([]byte, 64)
+		c.Read(buf)
+		time.Sleep(5 * time.Second)
+		c.Close()
+	})
+	c := &Client{Resolver: fixedResolver(addr), Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Query(context.Background(), "hang.example", "x.com")
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("timeout took %v, deadline not applied", time.Since(start))
+	}
+}
+
+func TestQueryEmptyResponse(t *testing.T) {
+	addr := startRawServer(t, func(c net.Conn) {
+		buf := make([]byte, 64)
+		c.Read(buf)
+		c.Close() // close without writing anything
+	})
+	c := &Client{Resolver: fixedResolver(addr), Timeout: time.Second}
+	_, err := c.Query(context.Background(), "empty.example", "x.com")
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestQueryRespectsMaxResponse(t *testing.T) {
+	addr := startRawServer(t, func(c net.Conn) {
+		buf := make([]byte, 64)
+		c.Read(buf)
+		big := strings.Repeat("Registrant Name: Flood\r\n", 10000)
+		c.Write([]byte(big))
+		c.Close()
+	})
+	c := &Client{Resolver: fixedResolver(addr), Timeout: 2 * time.Second, MaxResponse: 1024}
+	resp, err := c.Query(context.Background(), "flood.example", "x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) > 1100 {
+		t.Errorf("response length %d exceeds cap", len(resp))
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	addr := startRawServer(t, func(c net.Conn) {
+		buf := make([]byte, 64)
+		c.Read(buf)
+		time.Sleep(5 * time.Second)
+		c.Close()
+	})
+	c := &Client{Resolver: fixedResolver(addr), Timeout: 30 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Query(ctx, "slow.example", "x.com"); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("cancellation took %v", time.Since(start))
+	}
+}
