@@ -22,6 +22,7 @@ package whoisparse
 // suite over the design choices DESIGN.md calls out.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -79,7 +80,7 @@ func BenchmarkTokenizeRecord(b *testing.B) {
 	}
 }
 
-func BenchmarkViterbiDecode(b *testing.B) {
+func BenchmarkDecodeRecord(b *testing.B) {
 	setupBench(b)
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -94,6 +95,41 @@ func BenchmarkForwardBackwardMarginals(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchParser.BlockModel().Marginals(benchInst)
+	}
+}
+
+// BenchmarkPosterior measures the fused Viterbi + forward-backward pass
+// that Confidence and the active-learning loop sit on; compare against
+// BenchmarkDecodeRecord + BenchmarkForwardBackwardMarginals, which is what
+// the unfused code paid per record.
+func BenchmarkPosterior(b *testing.B) {
+	setupBench(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchParser.BlockModel().Posterior(benchInst)
+	}
+}
+
+// BenchmarkParseAllWorkers measures the §6 bulk-survey path at several
+// worker-pool widths over a mixed batch of records.
+func BenchmarkParseAllWorkers(b *testing.B) {
+	setupBench(b)
+	texts := make([]string, 200)
+	for i := range texts {
+		texts[i] = benchCorpus[300+i%300].Text
+	}
+	widths := []struct {
+		name string
+		n    int
+	}{{"1", 1}, {"4", 4}, {"max", runtime.GOMAXPROCS(0)}}
+	for _, w := range widths {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchParser.ParseAll(texts, w.n)
+			}
+		})
 	}
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/labels"
 	"repro/internal/tokenize"
@@ -23,20 +25,21 @@ type LineConfidence struct {
 
 // Confidence runs first-level decoding and returns the per-line posterior
 // probability of each predicted block, plus the minimum across lines (the
-// record's weakest link). An empty record returns (nil, 1).
+// record's weakest link). An empty record returns (nil, 1). The Viterbi
+// path and the marginals come from one fused crf.Posterior pass, so the
+// lattice is built once rather than once per quantity.
 func (p *Parser) Confidence(text string) ([]LineConfidence, float64) {
 	lines := tokenize.Tokenize(text, p.cfg.Tokenize)
 	if len(lines) == 0 {
 		return nil, 1
 	}
 	inst := p.block.MapLines(lines)
-	path, _ := p.block.Decode(inst)
-	marg := p.block.Marginals(inst)
+	post := p.block.Posterior(inst)
 	out := make([]LineConfidence, len(lines))
 	min := 1.0
 	for i := range lines {
-		prob := marg[i][path[i]]
-		out[i] = LineConfidence{Line: lines[i], Block: labels.Block(path[i]), Prob: prob}
+		prob := post.Marginals[i][post.Path[i]]
+		out[i] = LineConfidence{Line: lines[i], Block: labels.Block(post.Path[i]), Prob: prob}
 		if prob < min {
 			min = prob
 		}
@@ -47,21 +50,37 @@ func (p *Parser) Confidence(text string) ([]LineConfidence, float64) {
 // RankByUncertainty orders record texts by ascending minimum line
 // confidence: the records most worth labeling next. It returns the indices
 // into texts, most uncertain first — the active-learning selection the
-// paper's "add a handful of labeled examples" workflow implies.
+// paper's "add a handful of labeled examples" workflow implies. Scoring
+// runs across a bounded worker pool (GOMAXPROCS goroutines), mirroring
+// ParseAll; ties keep their original order.
 func (p *Parser) RankByUncertainty(texts []string) []int {
-	type scored struct {
-		idx  int
-		conf float64
+	conf := make([]float64, len(texts))
+	if len(texts) > 0 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(texts) {
+			workers = len(texts)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					_, conf[i] = p.Confidence(texts[i])
+				}
+			}()
+		}
+		for i := range texts {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	all := make([]scored, len(texts))
-	for i, t := range texts {
-		_, min := p.Confidence(t)
-		all[i] = scored{idx: i, conf: min}
+	out := make([]int, len(texts))
+	for i := range out {
+		out[i] = i
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].conf < all[j].conf })
-	out := make([]int, len(all))
-	for i, s := range all {
-		out[i] = s.idx
-	}
+	sort.SliceStable(out, func(a, b int) bool { return conf[out[a]] < conf[out[b]] })
 	return out
 }

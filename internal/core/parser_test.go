@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/eval"
 	"repro/internal/labels"
 	"repro/internal/synth"
+	"repro/internal/tokenize"
 )
 
 // trainedParser trains once per test binary on a small corpus.
@@ -275,5 +277,63 @@ func TestParseAllEmpty(t *testing.T) {
 	p := getParser(t)
 	if out := p.ParseAll(nil, 4); len(out) != 0 {
 		t.Errorf("empty input produced %d results", len(out))
+	}
+}
+
+// TestParseSteadyStateAllocs guards the allocation budget of the bulk
+// parse path: the CRF engine itself runs on pooled scratch (≈1 alloc for
+// the decoded path per level), so the remaining allocations belong to
+// tokenization and the returned record. The bound has headroom over the
+// measured steady state (~410) but fails loudly if lattice or DP-table
+// allocations ever creep back into the per-record cost.
+func TestParseSteadyStateAllocs(t *testing.T) {
+	p := getParser(t)
+	text := synth.Generate(synth.Config{N: 1, Seed: 509})[0].Render().Text
+	p.Parse(text) // warm the score caches and scratch pool
+	base := testing.AllocsPerRun(100, func() {
+		lines := tokenize.Tokenize(text, p.Config().Tokenize)
+		p.BlockModel().MapLines(lines)
+	})
+	total := testing.AllocsPerRun(100, func() {
+		p.Parse(text)
+	})
+	// Both decodes, the field-level MapLines, extraction, and the returned
+	// record fit in a few dozen allocations (measured ~43); a bound of 80
+	// fails if lattice or DP-table allocations return to the per-record
+	// cost (the pre-engine code paid 30+ per decode).
+	if crf := total - base; crf > 80 {
+		t.Errorf("Parse allocates %.0f/op beyond tokenize+MapLines (%.0f vs %.0f), want <= 80",
+			crf, total, base)
+	}
+}
+
+// TestRankByUncertaintyMatchesSequential pins the parallel implementation
+// to the sequential definition: ascending minimum confidence, ties in
+// original order.
+func TestRankByUncertaintyMatchesSequential(t *testing.T) {
+	p := getParser(t)
+	var texts []string
+	for _, d := range synth.Generate(synth.Config{N: 12, Seed: 510}) {
+		texts = append(texts, d.Render().Text)
+	}
+	texts = append(texts, "", texts[3]) // duplicates and empties tie
+	conf := make([]float64, len(texts))
+	for i, tx := range texts {
+		_, conf[i] = p.Confidence(tx)
+	}
+	want := make([]int, len(texts))
+	for i := range want {
+		want[i] = i
+	}
+	sort.SliceStable(want, func(a, b int) bool { return conf[want[a]] < conf[want[b]] })
+	got := p.RankByUncertainty(texts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got index %d, want %d (conf %v vs %v)",
+				i, got[i], want[i], conf[got[i]], conf[want[i]])
+		}
 	}
 }

@@ -6,107 +6,56 @@ import (
 	"repro/internal/mathx"
 )
 
-// lattice holds the per-position score tables for one instance. All scores
-// are in the log domain.
-type lattice struct {
-	n     int
-	T     int
-	state [][]float64 // [t][y]
-	trans [][]float64 // [t][i*n+j], valid for t >= 1
-}
-
-func (m *Model) buildLattice(theta []float64, inst Instance) *lattice {
-	n := m.cfg.NumStates
-	T := len(inst.Obs)
-	lat := &lattice{n: n, T: T}
-	lat.state = make([][]float64, T)
-	lat.trans = make([][]float64, T)
-	stateBacking := make([]float64, T*n)
-	transBacking := make([]float64, T*n*n)
-	for t := 0; t < T; t++ {
-		lat.state[t] = stateBacking[t*n : (t+1)*n]
-		m.stateScores(theta, inst.Obs[t], lat.state[t])
-		if t >= 1 {
-			lat.trans[t] = transBacking[t*n*n : (t+1)*n*n]
-			m.transScores(theta, inst.Obs[t], lat.trans[t])
-		}
-	}
-	return lat
-}
+// The public inference entry points below all run on pooled scratch
+// buffers (see engine.go) and consult the model-level score-row cache, so
+// in steady state they allocate only their escaping outputs.
 
 // Decode returns the Viterbi (maximum a posteriori) label sequence for the
 // instance, together with its unnormalized log score (eq. 13). An empty
 // instance decodes to an empty sequence.
 func (m *Model) Decode(inst Instance) ([]int, float64) {
-	return m.decodeWith(m.theta, inst)
-}
-
-func (m *Model) decodeWith(theta []float64, inst Instance) ([]int, float64) {
-	n := m.cfg.NumStates
 	T := len(inst.Obs)
 	if T == 0 {
 		return nil, 0
 	}
-	lat := m.buildLattice(theta, inst)
-
-	// V[t][j] per eq. 14-15; back[t][j] records the argmax (eq. 16).
-	v := make([]float64, n)
-	vNext := make([]float64, n)
-	back := make([][]int32, T)
-	copy(v, lat.state[0])
-	for t := 1; t < T; t++ {
-		back[t] = make([]int32, n)
-		tr := lat.trans[t]
-		for j := 0; j < n; j++ {
-			best := mathx.NegInf
-			bestI := 0
-			for i := 0; i < n; i++ {
-				if s := v[i] + tr[i*n+j]; s > best {
-					best, bestI = s, i
-				}
-			}
-			vNext[j] = best + lat.state[t][j]
-			back[t][j] = int32(bestI)
-		}
-		v, vNext = vNext, v
-	}
-	bestJ, bestScore := mathx.ArgMax(v)
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
 	path := make([]int, T)
-	path[T-1] = bestJ
-	for t := T - 1; t >= 1; t-- {
-		path[t-1] = int(back[t][path[t]])
-	}
-	return path, bestScore
+	score := viterbiInto(&s.lat, s, path)
+	return path, score
 }
 
 // LogZ returns the log of the normalization factor Z(x) (eq. 3/10),
 // computed by the forward recursion in the log domain.
 func (m *Model) LogZ(inst Instance) float64 {
-	lat := m.buildLattice(m.theta, inst)
-	alpha := forward(lat)
-	if lat.T == 0 {
+	T := len(inst.Obs)
+	if T == 0 {
 		return 0
 	}
-	return mathx.LogSumExpSlice(alpha[lat.T-1])
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	forwardInto(&s.lat, s.alpha, s.buf)
+	n := s.lat.n
+	return mathx.LogSumExpSlice(s.alpha[(T-1)*n : T*n])
 }
 
 // SequenceScore returns the unnormalized log score Σ_t,k θ_k f_k of a
 // label sequence, and LogProb its normalized log posterior (eq. 2).
 func (m *Model) SequenceScore(inst Instance, y []int) float64 {
-	return m.sequenceScoreWith(m.theta, inst, y)
-}
-
-func (m *Model) sequenceScoreWith(theta []float64, inst Instance, y []int) float64 {
-	lat := m.buildLattice(theta, inst)
-	return latticeSeqScore(lat, y)
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	return latticeSeqScore(&s.lat, y)
 }
 
 func latticeSeqScore(lat *lattice, y []int) float64 {
 	var s float64
 	for t := 0; t < lat.T; t++ {
-		s += lat.state[t][y[t]]
+		s += lat.state[t*lat.n+y[t]]
 		if t >= 1 {
-			s += lat.trans[t][y[t-1]*lat.n+y[t]]
+			s += lat.trans[t*lat.n*lat.n+y[t-1]*lat.n+y[t]]
 		}
 	}
 	return s
@@ -114,75 +63,47 @@ func latticeSeqScore(lat *lattice, y []int) float64 {
 
 // LogProb returns log Pr(y|x) under the model.
 func (m *Model) LogProb(inst Instance, y []int) float64 {
-	lat := m.buildLattice(m.theta, inst)
-	alpha := forward(lat)
-	if lat.T == 0 {
+	T := len(inst.Obs)
+	if T == 0 {
 		return 0
 	}
-	logZ := mathx.LogSumExpSlice(alpha[lat.T-1])
-	return latticeSeqScore(lat, y) - logZ
-}
-
-// forward computes alpha[t][j] = log Σ over paths ending in state j at t.
-func forward(lat *lattice) [][]float64 {
-	n, T := lat.n, lat.T
-	alpha := make([][]float64, T)
-	buf := make([]float64, n)
-	for t := 0; t < T; t++ {
-		alpha[t] = make([]float64, n)
-		if t == 0 {
-			copy(alpha[0], lat.state[0])
-			continue
-		}
-		tr := lat.trans[t]
-		for j := 0; j < n; j++ {
-			for i := 0; i < n; i++ {
-				buf[i] = alpha[t-1][i] + tr[i*n+j]
-			}
-			alpha[t][j] = mathx.LogSumExpSlice(buf) + lat.state[t][j]
-		}
-	}
-	return alpha
-}
-
-// backward computes beta[t][i] = log Σ over path continuations from state
-// i at position t.
-func backward(lat *lattice) [][]float64 {
-	n, T := lat.n, lat.T
-	beta := make([][]float64, T)
-	buf := make([]float64, n)
-	for t := T - 1; t >= 0; t-- {
-		beta[t] = make([]float64, n)
-		if t == T-1 {
-			continue // zeros == log 1
-		}
-		tr := lat.trans[t+1]
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				buf[j] = tr[i*n+j] + lat.state[t+1][j] + beta[t+1][j]
-			}
-			beta[t][i] = mathx.LogSumExpSlice(buf)
-		}
-	}
-	return beta
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	forwardInto(&s.lat, s.alpha, s.buf)
+	n := s.lat.n
+	logZ := mathx.LogSumExpSlice(s.alpha[(T-1)*n : T*n])
+	return latticeSeqScore(&s.lat, y) - logZ
 }
 
 // Marginals returns the per-position posterior Pr(y_t = j | x) as a
 // T×n matrix (eq. 12 specializes to these node marginals).
 func (m *Model) Marginals(inst Instance) [][]float64 {
-	lat := m.buildLattice(m.theta, inst)
-	if lat.T == 0 {
+	T := len(inst.Obs)
+	if T == 0 {
 		return nil
 	}
-	alpha := forward(lat)
-	beta := backward(lat)
-	logZ := mathx.LogSumExpSlice(alpha[lat.T-1])
-	out := make([][]float64, lat.T)
-	for t := 0; t < lat.T; t++ {
-		out[t] = make([]float64, lat.n)
-		for j := 0; j < lat.n; j++ {
-			out[t][j] = math.Exp(alpha[t][j] + beta[t][j] - logZ)
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	forwardInto(&s.lat, s.alpha, s.buf)
+	backwardInto(&s.lat, s.beta, s.buf)
+	n := s.lat.n
+	logZ := mathx.LogSumExpSlice(s.alpha[(T-1)*n : T*n])
+	return nodeMarginals(s, T, n, logZ)
+}
+
+// nodeMarginals exponentiates alpha+beta-logZ into a freshly allocated
+// T×n matrix backed by one contiguous array.
+func nodeMarginals(s *scratch, T, n int, logZ float64) [][]float64 {
+	out := make([][]float64, T)
+	backing := make([]float64, T*n)
+	for t := 0; t < T; t++ {
+		row := backing[t*n : (t+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = math.Exp(s.alpha[t*n+j] + s.beta[t*n+j] - logZ)
 		}
+		out[t] = row
 	}
 	return out
 }
@@ -190,23 +111,67 @@ func (m *Model) Marginals(inst Instance) [][]float64 {
 // EdgeMarginals returns Pr(y_{t-1}=i, y_t=j | x) for t in [1, T), as a
 // slice indexed by t with n×n matrices flattened row-major (eq. 12).
 func (m *Model) EdgeMarginals(inst Instance) [][]float64 {
-	lat := m.buildLattice(m.theta, inst)
-	if lat.T == 0 {
+	T := len(inst.Obs)
+	if T == 0 {
 		return nil
 	}
-	alpha := forward(lat)
-	beta := backward(lat)
-	logZ := mathx.LogSumExpSlice(alpha[lat.T-1])
-	n := lat.n
-	out := make([][]float64, lat.T)
-	for t := 1; t < lat.T; t++ {
-		out[t] = make([]float64, n*n)
-		tr := lat.trans[t]
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	forwardInto(&s.lat, s.alpha, s.buf)
+	backwardInto(&s.lat, s.beta, s.buf)
+	n := s.lat.n
+	logZ := mathx.LogSumExpSlice(s.alpha[(T-1)*n : T*n])
+	out := make([][]float64, T)
+	backing := make([]float64, (T-1)*n*n)
+	for t := 1; t < T; t++ {
+		row := backing[(t-1)*n*n : t*n*n]
+		tr := s.lat.transRow(t)
+		st := s.lat.stateRow(t)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				out[t][i*n+j] = math.Exp(alpha[t-1][i] + tr[i*n+j] + lat.state[t][j] + beta[t][j] - logZ)
+				row[i*n+j] = math.Exp(s.alpha[(t-1)*n+i] + tr[i*n+j] + st[j] + s.beta[t*n+j] - logZ)
 			}
 		}
+		out[t] = row
 	}
 	return out
+}
+
+// Posterior bundles everything one fused inference pass can produce: the
+// Viterbi path with its unnormalized score, the node marginals, and logZ.
+type Posterior struct {
+	// Path is the Viterbi label sequence; Score its unnormalized log score.
+	Path  []int
+	Score float64
+	// Marginals[t][j] is Pr(y_t = j | x).
+	Marginals [][]float64
+	// LogZ is the log normalization factor.
+	LogZ float64
+}
+
+// Posterior builds the lattice once and runs Viterbi and forward-backward
+// over it, so callers needing both the argmax path and its per-position
+// posteriors (confidence scoring, active learning) pay one lattice build
+// instead of the two that separate Decode + Marginals calls would cost.
+func (m *Model) Posterior(inst Instance) Posterior {
+	T := len(inst.Obs)
+	if T == 0 {
+		return Posterior{}
+	}
+	s := getScratch()
+	defer putScratch(s)
+	m.fillLattice(s, m.theta, inst, m.curCache())
+	n := s.lat.n
+	forwardInto(&s.lat, s.alpha, s.buf)
+	backwardInto(&s.lat, s.beta, s.buf)
+	logZ := mathx.LogSumExpSlice(s.alpha[(T-1)*n : T*n])
+	path := make([]int, T)
+	score := viterbiInto(&s.lat, s, path)
+	return Posterior{
+		Path:      path,
+		Score:     score,
+		Marginals: nodeMarginals(s, T, n, logZ),
+		LogZ:      logZ,
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/tokenize"
 )
@@ -75,6 +76,10 @@ type Model struct {
 	biasBase  int
 	transBase int // start of the (i,j) bigram table
 	tobsBase  int // start of the obs-conditioned transition block
+
+	// scores caches per-line-shape score rows for the current theta; it is
+	// swapped out wholesale on every theta mutation (see engine.go).
+	scores atomic.Pointer[scoreCache]
 }
 
 // New builds an untrained model over the given dictionary. The feature
@@ -105,6 +110,7 @@ func New(dict *tokenize.Dictionary, cfg Config) *Model {
 	m.transBase = m.biasBase + n
 	m.tobsBase = m.transBase + n*n
 	m.theta = make([]float64, m.tobsBase+m.numTrans*n*n)
+	m.scores.Store(new(scoreCache))
 	return m
 }
 
@@ -139,6 +145,7 @@ func (m *Model) SetTheta(theta []float64) error {
 		return fmt.Errorf("crf: SetTheta length %d, want %d", len(theta), len(m.theta))
 	}
 	copy(m.theta, theta)
+	m.invalidateScores()
 	return nil
 }
 

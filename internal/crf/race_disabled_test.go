@@ -1,0 +1,5 @@
+//go:build !race
+
+package crf
+
+const raceEnabled = false

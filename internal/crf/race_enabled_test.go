@@ -1,0 +1,8 @@
+//go:build race
+
+package crf
+
+// raceEnabled reports whether the race detector is active. Allocation
+// guards are skipped under -race: its instrumentation allocates, and
+// sync.Pool deliberately drops puts to widen race coverage.
+const raceEnabled = true

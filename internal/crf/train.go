@@ -49,11 +49,18 @@ func (m *Model) Train(insts []Instance, cfg TrainConfig) (optimize.Result, error
 			return res, fmt.Errorf("crf: lbfgs: %w", err)
 		}
 		copy(m.theta, res.X)
+		m.invalidateScores()
 		return res, nil
 	case "sgd":
 		scfg := cfg.SGD
 		if scfg.Epochs == 0 && scfg.Eta0 == 0 {
 			scfg = optimize.DefaultSGDConfig()
+		}
+		// The regularizer is applied by the optimizer as fused weight decay
+		// (one multiply inside the update pass) rather than by walking full
+		// θ inside every EvalExample; see optimize.SGDConfig.WeightDecay.
+		if m.cfg.L2 > 0 && len(insts) > 0 {
+			scfg.WeightDecay = m.cfg.L2 / float64(len(insts))
 		}
 		obj := &sgdObjective{m: m, insts: insts}
 		res, err := optimize.SGD(obj, m.theta, scfg)
@@ -61,6 +68,7 @@ func (m *Model) Train(insts []Instance, cfg TrainConfig) (optimize.Result, error
 			return res, fmt.Errorf("crf: sgd: %w", err)
 		}
 		copy(m.theta, res.X)
+		m.invalidateScores()
 		return res, nil
 	default:
 		return optimize.Result{}, fmt.Errorf("crf: unknown training method %q", cfg.Method)
@@ -69,17 +77,21 @@ func (m *Model) Train(insts []Instance, cfg TrainConfig) (optimize.Result, error
 
 // instanceNLL computes the negative log-likelihood of one instance at
 // theta and accumulates its gradient (expected minus observed feature
-// counts) into grad.
-func (m *Model) instanceNLL(theta []float64, inst Instance, grad []float64) float64 {
+// counts) into grad. All dynamic-programming tables live in the caller-
+// provided scratch, so the training loop reuses the same buffers across
+// every gradient evaluation.
+func (m *Model) instanceNLL(s *scratch, theta []float64, inst Instance, grad []float64) float64 {
 	n := m.cfg.NumStates
 	T := len(inst.Obs)
 	if T == 0 {
 		return 0
 	}
-	lat := m.buildLattice(theta, inst)
-	alpha := forward(lat)
-	beta := backward(lat)
-	logZ := mathx.LogSumExpSlice(alpha[T-1])
+	m.fillLattice(s, theta, inst, nil)
+	lat := &s.lat
+	forwardInto(lat, s.alpha, s.buf)
+	backwardInto(lat, s.beta, s.buf)
+	alpha, beta := s.alpha, s.beta
+	logZ := mathx.LogSumExpSlice(alpha[(T-1)*n : T*n])
 	gold := latticeSeqScore(lat, inst.Labels)
 	nll := logZ - gold
 
@@ -88,11 +100,11 @@ func (m *Model) instanceNLL(theta []float64, inst Instance, grad []float64) floa
 	}
 
 	// Node terms: expected - observed emission counts.
-	prob := make([]float64, n)
+	prob := s.prob[:n]
 	for t := 0; t < T; t++ {
 		var norm float64
 		for j := 0; j < n; j++ {
-			p := expSafe(alpha[t][j] + beta[t][j] - logZ)
+			p := expSafe(alpha[t*n+j] + beta[t*n+j] - logZ)
 			prob[j] = p
 			norm += p
 		}
@@ -116,13 +128,14 @@ func (m *Model) instanceNLL(theta []float64, inst Instance, grad []float64) floa
 	}
 
 	// Edge terms: expected - observed transition counts.
-	edge := make([]float64, n*n)
+	edge := s.edge[:n*n]
 	for t := 1; t < T; t++ {
-		tr := lat.trans[t]
+		tr := lat.transRow(t)
+		st := lat.stateRow(t)
 		var norm float64
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				p := expSafe(alpha[t-1][i] + tr[i*n+j] + lat.state[t][j] + beta[t][j] - logZ)
+				p := expSafe(alpha[(t-1)*n+i] + tr[i*n+j] + st[j] + beta[t*n+j] - logZ)
 				edge[i*n+j] = p
 				norm += p
 			}
@@ -172,8 +185,9 @@ type batchObjective struct {
 	insts   []Instance
 	workers int
 
-	mu    sync.Mutex
-	grads [][]float64 // per-worker scratch gradients, reused across Evals
+	mu        sync.Mutex
+	grads     [][]float64 // per-worker scratch gradients, reused across Evals
+	scratches []*scratch  // per-worker inference scratch, reused across Evals
 }
 
 func (m *Model) newBatchObjective(insts []Instance, workers int) *batchObjective {
@@ -195,8 +209,10 @@ func (b *batchObjective) Eval(theta, grad []float64) float64 {
 	mathx.Fill(grad, 0)
 	if len(b.grads) != b.workers {
 		b.grads = make([][]float64, b.workers)
+		b.scratches = make([]*scratch, b.workers)
 		for w := range b.grads {
 			b.grads[w] = make([]float64, len(theta))
+			b.scratches[w] = new(scratch)
 		}
 	}
 	values := make([]float64, b.workers)
@@ -206,10 +222,11 @@ func (b *batchObjective) Eval(theta, grad []float64) float64 {
 		go func(w int) {
 			defer wg.Done()
 			g := b.grads[w]
+			s := b.scratches[w]
 			mathx.Fill(g, 0)
 			var v float64
 			for i := w; i < len(b.insts); i += b.workers {
-				v += b.m.instanceNLL(theta, b.insts[i], g)
+				v += b.m.instanceNLL(s, theta, b.insts[i], g)
 			}
 			values[w] = v
 		}(w)
@@ -233,27 +250,19 @@ func (b *batchObjective) Eval(theta, grad []float64) float64 {
 	return total
 }
 
-// sgdObjective adapts per-instance NLL (plus a per-example share of the
-// regularizer) to optimize.StochasticObjective.
+// sgdObjective adapts per-instance NLL to optimize.StochasticObjective.
+// It evaluates the data term only: the L2 regularizer is handled by the
+// optimizer's WeightDecay (set in Train), which folds the decay into the
+// update pass instead of scanning full θ here on every example.
 type sgdObjective struct {
-	m     *Model
-	insts []Instance
+	m       *Model
+	insts   []Instance
+	scratch scratch
 }
 
 func (s *sgdObjective) Dim() int         { return len(s.m.theta) }
 func (s *sgdObjective) NumExamples() int { return len(s.insts) }
 
 func (s *sgdObjective) EvalExample(i int, theta, grad []float64) float64 {
-	v := s.m.instanceNLL(theta, s.insts[i], grad)
-	l2 := s.m.cfg.L2
-	if l2 > 0 {
-		share := l2 / float64(len(s.insts))
-		var reg float64
-		for k, th := range theta {
-			reg += th * th
-			grad[k] += share * th
-		}
-		v += 0.5 * share * reg
-	}
-	return v
+	return s.m.instanceNLL(&s.scratch, theta, s.insts[i], grad)
 }

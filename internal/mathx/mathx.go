@@ -72,6 +72,17 @@ func AXPY(alpha float64, x, dst []float64) {
 	}
 }
 
+// DecayAXPY computes dst[i] = decay*dst[i] + alpha*x[i] in place — the
+// fused multiplicative-weight-decay update used by SGD with L2.
+func DecayAXPY(decay, alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("mathx: DecayAXPY length mismatch")
+	}
+	for i, xi := range x {
+		dst[i] = decay*dst[i] + alpha*xi
+	}
+}
+
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float64, x []float64) {
 	for i := range x {

@@ -189,3 +189,21 @@ func TestLogSumExpSliceAgainstDirect(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDecayAXPY(t *testing.T) {
+	x := []float64{1, -2, 3}
+	dst := []float64{10, 20, 30}
+	DecayAXPY(0.5, 2, x, dst)
+	want := []float64{7, 6, 21} // 0.5*dst + 2*x
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DecayAXPY length mismatch did not panic")
+		}
+	}()
+	DecayAXPY(1, 1, []float64{1}, []float64{1, 2})
+}

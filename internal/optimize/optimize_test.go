@@ -248,3 +248,49 @@ func TestLBFGSHighDimensional(t *testing.T) {
 	}
 	_ = mathx.NegInf
 }
+
+// regQuadratic folds an explicit per-example L2 term into EvalExample, the
+// pre-WeightDecay formulation, as the reference for the fused decay path.
+type regQuadratic struct {
+	sumQuadratic
+	lam float64
+}
+
+func (r regQuadratic) EvalExample(i int, theta, grad []float64) float64 {
+	v := r.sumQuadratic.EvalExample(i, theta, grad)
+	var reg float64
+	for k, th := range theta {
+		reg += th * th
+		grad[k] += r.lam * th
+	}
+	return v + 0.5*r.lam*reg
+}
+
+func TestSGDWeightDecayMatchesExplicitRegularizer(t *testing.T) {
+	base := sumQuadratic{centers: [][]float64{{1, 5}, {3, 7}, {2, 6}, {0, 4}}}
+	const lam = 0.05
+	cfg := DefaultSGDConfig()
+	cfg.Epochs = 40
+	explicit, err := SGD(regQuadratic{base, lam}, []float64{0.5, -0.5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := cfg
+	fused.WeightDecay = lam
+	decayed, err := SGD(base, []float64{0.5, -0.5}, fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The update θ ← (1−ηλ)θ − ηg is algebraically θ ← θ − η(g + λθ), so
+	// the iterates must agree to rounding.
+	for k := range explicit.X {
+		if math.Abs(explicit.X[k]-decayed.X[k]) > 1e-9 {
+			t.Fatalf("x[%d]: explicit %v, fused decay %v", k, explicit.X[k], decayed.X[k])
+		}
+	}
+	// Reported losses differ only in where within the epoch the regularizer
+	// is sampled; they must still agree closely once converged.
+	if diff := math.Abs(explicit.Value - decayed.Value); diff > 1e-2*(1+math.Abs(explicit.Value)) {
+		t.Fatalf("loss mismatch: explicit %v, fused decay %v", explicit.Value, decayed.Value)
+	}
+}

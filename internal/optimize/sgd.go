@@ -31,6 +31,13 @@ type SGDConfig struct {
 	Decay float64
 	// Seed seeds the shuffling PRNG so runs are reproducible.
 	Seed int64
+	// WeightDecay, when positive, adds a 0.5·WeightDecay·‖θ‖² term per
+	// example, applied analytically as multiplicative decay fused into the
+	// update step: θ ← (1 − η·WeightDecay)·θ − η·∇f_i(θ). This is the
+	// gradient step for f_i(θ) + 0.5·WeightDecay·‖θ‖² without the O(dim)
+	// regularizer scan per example; the reported per-epoch loss adds
+	// 0.5·WeightDecay·‖θ‖² (at the epoch-final iterate) back once.
+	WeightDecay float64
 	// Callback, when non-nil, observes the average per-example loss after
 	// each epoch. Returning false stops training early.
 	Callback func(epoch int, avgLoss float64) bool
@@ -70,10 +77,18 @@ func SGD(obj StochasticObjective, x0 []float64, cfg SGDConfig) (Result, error) {
 			total += obj.EvalExample(idx, x, grad)
 			evals++
 			eta := cfg.Eta0 / (1 + cfg.Decay*float64(t))
-			mathx.AXPY(-eta, grad, x)
+			if cfg.WeightDecay > 0 {
+				mathx.DecayAXPY(1-eta*cfg.WeightDecay, -eta, grad, x)
+			} else {
+				mathx.AXPY(-eta, grad, x)
+			}
 			t++
 		}
 		lastAvg = total / float64(len(order))
+		if cfg.WeightDecay > 0 {
+			nrm := mathx.Norm2(x)
+			lastAvg += 0.5 * cfg.WeightDecay * nrm * nrm
+		}
 		if cfg.Callback != nil && !cfg.Callback(epoch+1, lastAvg) {
 			break
 		}

@@ -71,7 +71,16 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("rdap: listen %s: %w", addr, err)
 	}
 	s.addr = l.Addr().String()
-	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	// Full read/write deadlines, not just the header timeout: a client
+	// that stalls mid-body or drains responses one byte at a time must not
+	// pin a connection (and its goroutine) forever.
+	s.httpSrv = &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = s.httpSrv.Serve(l) }()
 	return s.addr, nil
 }

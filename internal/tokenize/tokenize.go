@@ -122,6 +122,9 @@ func buildLine(raw string, opts Options) Line {
 	trimmed := strings.TrimSpace(raw)
 	title, value, hasSep := SplitTitleValue(trimmed)
 	ln := Line{Raw: raw, Title: title, Value: value, HasSep: hasSep}
+	// Most lines produce a handful of word observations plus a few markers
+	// and classes; one right-sized allocation beats append's doubling.
+	ln.Obs = make([]string, 0, 16)
 
 	if !opts.DisableLayout {
 		if hasSep {
@@ -225,23 +228,36 @@ func isSchemeColon(s string, i int) bool {
 
 // Words splits text into lowercased alphanumeric words. Punctuation is
 // discarded; words keep interior digits (so "2015" and "ns1" survive).
+// Words are sliced out of text directly, so an already-lowercase word (the
+// common case in WHOIS values) costs no allocation beyond the slice.
 func Words(text string) []string {
 	var out []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			out = append(out, strings.ToLower(b.String()))
-			b.Reset()
+	start := -1
+	needLower := false
+	flush := func(end int) {
+		if start >= 0 {
+			w := text[start:end]
+			if needLower {
+				w = strings.ToLower(w)
+			}
+			out = append(out, w)
+			start = -1
+			needLower = false
 		}
 	}
-	for _, r := range text {
+	for i, r := range text {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(r)
+			if start < 0 {
+				start = i
+			}
+			if unicode.ToLower(r) != r {
+				needLower = true
+			}
 		} else {
-			flush()
+			flush(i)
 		}
 	}
-	flush()
+	flush(len(text))
 	return out
 }
 
