@@ -1,0 +1,24 @@
+# Verification targets. `make verify` is the CI entry point: tier-1
+# build+test plus vet and a race-detector pass over the concurrent
+# serving paths (internal/serve and the frontends that sit on it).
+
+GO ?= go
+
+.PHONY: verify vet build test race bench-serve
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/...
+
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/

@@ -1,10 +1,19 @@
 // Command rdapd serves the synthetic registration corpus over RDAP — the
 // structured-data protocol the paper's background section (§2.2) expects
-// to eventually replace free-text WHOIS. Useful for poking at the
-// structured counterfactual:
+// to eventually replace free-text WHOIS. Two views of every domain:
+//
+//   - /domain/{name}: registry ground truth as an RDAP domain object;
+//   - /parsed/{name}: the statistical parser's reading of the domain's
+//     raw WHOIS text, served through the shared parse-serving layer
+//     (internal/serve: cache + singleflight coalescing + bounded worker
+//     pool with load shedding) and shaped as RDAP-flavored JSON.
+//
+// Comparing the two is the "WHOIS Right?" consistency experiment in
+// miniature: structured truth vs. learned parse, same schema.
 //
 //	rdapd -n 2000 -listen 127.0.0.1:8083 &
 //	curl -s http://127.0.0.1:8083/domain/<name> | jq .
+//	curl -s http://127.0.0.1:8083/parsed/<name> | jq .
 package main
 
 import (
@@ -14,8 +23,13 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/rdap"
+	"repro/internal/serve"
 	"repro/internal/synth"
+
+	whoisparse "repro"
 )
 
 func main() {
@@ -24,20 +38,60 @@ func main() {
 	n := flag.Int("n", 2000, "number of domains to serve")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	parseMode := flag.Bool("parse", true, "serve /parsed/{name} via the statistical parser")
+	model := flag.String("model", "", "trained parser model for -parse (empty = train a small one at startup)")
+	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
+	parseQueue := flag.Int("parse-queue", 0, "admission queue depth (0 = 8x workers); overflow answers 503")
+	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
 	flag.Parse()
 
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
 	srv := rdap.NewServer(domains)
+
+	if *parseMode {
+		p, err := loadOrTrainParser(*model, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps := serve.New(p, serve.Options{
+			Workers:       *parseWorkers,
+			QueueDepth:    *parseQueue,
+			CacheCapacity: *parseCache,
+		})
+		defer func() {
+			ps.Close() // drain in-flight parses after the listener stops
+			log.Printf("parse serving: %s", ps.Stats())
+		}()
+		srv.EnableParsed(ps, domains)
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
+	if *parseMode {
+		log.Printf("parsed view at http://%s/parsed/{name}", addr)
+	}
 	log.Printf("example: curl -s http://%s/domain/%s", addr, domains[0].Reg.Domain)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+}
+
+// loadOrTrainParser loads a saved model, or — so /parsed/ works out of
+// the box — trains a small parser on a labeled synthetic corpus drawn
+// from a seed distinct from the served ecosystem's.
+func loadOrTrainParser(model string, seed int64) (*core.Parser, error) {
+	if model != "" {
+		log.Printf("loading parser from %s", model)
+		return whoisparse.Load(model)
+	}
+	log.Printf("no -model given; training a small parser (use -model for a full one)")
+	recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: seed + 7919})
+	p, _, err := experiments.TrainParser(recs, experiments.Quick())
+	return p, err
 }

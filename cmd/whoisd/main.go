@@ -4,10 +4,17 @@
 // addresses (the simulation's stand-in for DNS) and a zone file listing
 // the registered domains, then serves until interrupted.
 //
+// With -parse (default on) every server also answers "--parse <domain>"
+// queries: the record is run through the shared parse-serving layer
+// (internal/serve: cache + coalescing + bounded workers) and returned as
+// a labeled field summary instead of raw text. The parser comes from
+// -model, or is trained on a small synthetic corpus at startup.
+//
 // Usage:
 //
 //	whoisd [-n 5000] [-seed 1] [-limit 25] [-window 500ms] [-penalty 1s]
 //	       [-dir whois_servers.txt] [-zone zone.txt] [-fail 0.075]
+//	       [-parse] [-model parser.model] [-parse-workers 0] [-parse-cache 4096]
 package main
 
 import (
@@ -20,9 +27,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/registry"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/whoisd"
+
+	whoisparse "repro"
 )
 
 func main() {
@@ -36,17 +48,36 @@ func main() {
 	dirFile := flag.String("dir", "whois_servers.txt", "directory file to write (name addr per line)")
 	zoneFile := flag.String("zone", "zone.txt", "zone file to write (one domain per line)")
 	failFrac := flag.Float64("fail", 0.075, "fraction of domains whose thick record is withheld")
+	parseMode := flag.Bool("parse", true, "answer '--parse <domain>' queries with the parsed-field summary")
+	model := flag.String("model", "", "trained parser model for -parse (empty = train a small one at startup)")
+	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
+	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
 	flag.Parse()
 
 	log.Printf("generating %d domains (seed %d)", *n, *seed)
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
 	eco := registry.BuildEcosystem(domains, *failFrac)
 
+	var ps *serve.Server
+	if *parseMode {
+		p, err := loadOrTrainParser(*model, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps = serve.New(p, serve.Options{Workers: *parseWorkers, CacheCapacity: *parseCache})
+		defer func() {
+			ps.Close() // drain in-flight parses before exit
+			log.Printf("parse serving: %s", ps.Stats())
+		}()
+		log.Printf("parse mode on: try '--parse <domain>' against any server")
+	}
+
 	cluster, err := whoisd.StartCluster(eco, whoisd.ClusterConfig{
 		RegistryLimit:  (*limit) * 16,
 		RegistrarLimit: *limit,
 		Window:         *window,
 		Penalty:        *penalty,
+		Parse:          ps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +119,20 @@ func writeDirectory(path string, cluster *whoisd.Cluster) error {
 		fmt.Fprintf(f, "%s %s\n", name, addr)
 	}
 	return f.Close()
+}
+
+// loadOrTrainParser loads a saved model, or — so parse mode works out of
+// the box — trains a small parser on a labeled synthetic corpus drawn
+// from a seed distinct from the served ecosystem's.
+func loadOrTrainParser(model string, seed int64) (*core.Parser, error) {
+	if model != "" {
+		log.Printf("loading parser from %s", model)
+		return whoisparse.Load(model)
+	}
+	log.Printf("no -model given; training a small parser (use -model for a full one)")
+	recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: seed + 7919})
+	p, _, err := experiments.TrainParser(recs, experiments.Quick())
+	return p, err
 }
 
 func writeZone(path string, domains []*synth.Domain) error {

@@ -13,12 +13,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"repro/internal/serve"
 	"repro/internal/survey"
 	"repro/internal/synth"
 
@@ -33,11 +35,26 @@ func main() {
 	dblFile := flag.String("dbl", "", "optional blacklist file (one domain per line)")
 	synthetic := flag.Int("synthetic", 0, "generate and survey N synthetic records instead of -in")
 	seed := flag.Int64("seed", 2, "seed for -synthetic")
+	workers := flag.Int("workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	p, err := whoisparse.Load(*model)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The shared parse-serving layer is the batch driver: blocking
+	// admission gives backpressure against the bounded worker pool, and
+	// the cache/coalescing path deduplicates repeated record texts
+	// (registrars reuse templates, so real crawls repeat themselves).
+	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15})
+	defer ps.Close()
+	parseAll := func(texts []string) []*whoisparse.ParsedRecord {
+		out, err := ps.ParseBatch(context.Background(), texts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
 	}
 
 	dbl := make(map[string]bool)
@@ -55,7 +72,7 @@ func main() {
 		for i, d := range domains {
 			texts[i] = d.Render().Text
 		}
-		for i, pr := range p.ParseAll(texts, 0) {
+		for i, pr := range parseAll(texts) {
 			facts = append(facts, survey.FactsFrom(pr, domains[i].Blacklisted))
 		}
 	case *in != "":
@@ -71,7 +88,7 @@ func main() {
 			texts = append(texts, rec.text)
 			registrars = append(registrars, rec.registrar)
 		}
-		for i, pr := range p.ParseAll(texts, 0) {
+		for i, pr := range parseAll(texts) {
 			f := survey.FactsFrom(pr, dbl[names[i]])
 			if f.Registrar == "" {
 				f.Registrar = registrars[i] // thin-record fallback
@@ -84,6 +101,7 @@ func main() {
 
 	s := survey.New(facts)
 	log.Printf("surveying %d parsed records", s.Len())
+	log.Printf("parse serving: %s", ps.Stats())
 
 	t3all, t3new := s.Table3()
 	fmt.Println(survey.RenderRows("Table 3 (left) — registrant countries, all time", t3all))

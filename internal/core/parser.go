@@ -252,6 +252,10 @@ type Contact struct {
 }
 
 // ParsedRecord is the full output of the two-level parse.
+//
+// Instances handed out by a shared result cache (internal/serve) are
+// shared across callers and must be treated as immutable; use Clone to
+// obtain a caller-owned copy before mutating.
 type ParsedRecord struct {
 	// Lines are the retained lines in order; Blocks and Fields run
 	// parallel to them. Fields[i] is meaningful only when Blocks[i] is
@@ -273,6 +277,16 @@ type ParsedRecord struct {
 	CreatedDate  string
 	UpdatedDate  string
 	ExpiresDate  string
+}
+
+// Clone returns a deep copy of the record, for callers that need to
+// mutate a result obtained from a shared cache.
+func (pr *ParsedRecord) Clone() *ParsedRecord {
+	out := *pr
+	out.Lines = append([]tokenize.Line(nil), pr.Lines...)
+	out.Blocks = append([]labels.Block(nil), pr.Blocks...)
+	out.Fields = append([]labels.Field(nil), pr.Fields...)
+	return &out
 }
 
 // Parse runs both levels on raw record text and extracts fields.

@@ -125,6 +125,34 @@ func TestParseExtractionFidelity(t *testing.T) {
 	}
 }
 
+func TestParsedRecordClone(t *testing.T) {
+	p := getParser(t)
+	d := synth.Generate(synth.Config{N: 1, Seed: 206})[0]
+	pr := p.Parse(d.Render().Text)
+	if len(pr.Blocks) == 0 {
+		t.Fatal("parse produced no blocks")
+	}
+	cl := pr.Clone()
+	if cl == pr {
+		t.Fatal("Clone returned the same pointer")
+	}
+	if len(cl.Lines) != len(pr.Lines) || len(cl.Blocks) != len(pr.Blocks) || len(cl.Fields) != len(pr.Fields) {
+		t.Fatal("Clone changed slice lengths")
+	}
+	if cl.Registrant != pr.Registrant || cl.Registrar != pr.Registrar || cl.DomainName != pr.DomainName {
+		t.Error("Clone changed scalar fields")
+	}
+	orig := pr.Blocks[0]
+	cl.Blocks[0] = orig + 1
+	cl.Registrar = "mutated"
+	if pr.Blocks[0] != orig {
+		t.Error("mutating clone's Blocks leaked into original")
+	}
+	if pr.Registrar == "mutated" {
+		t.Error("mutating clone's Registrar leaked into original")
+	}
+}
+
 func TestParseEmptyText(t *testing.T) {
 	p := getParser(t)
 	pr := p.Parse("")

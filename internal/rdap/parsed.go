@@ -1,0 +1,103 @@
+package rdap
+
+import (
+	"repro/internal/core"
+	"repro/internal/labels"
+)
+
+// ParsedDomain is the RDAP-flavored JSON served by /parsed/{name}: the
+// output of running the statistical parser (internal/core) over the raw
+// free-text WHOIS record, shaped like an RDAP domain object. Where
+// /domain/{name} serves registry ground truth, /parsed/{name} serves the
+// CRF's *reading* of the record — the bridge PAPERS.md's "WHOIS Right?"
+// consistency work motivates: the same structured schema from both the
+// structured and the free-text pipelines, directly comparable.
+type ParsedDomain struct {
+	ObjectClassName string `json:"objectClassName"` // always "domain"
+	LDHName         string `json:"ldhName"`
+	// Source distinguishes this view from authoritative RDAP data.
+	Source string `json:"source"` // always "statistical-whois-parse"
+
+	Registrar    string `json:"registrar,omitempty"`
+	RegistrarURL string `json:"registrarUrl,omitempty"`
+	Port43       string `json:"port43,omitempty"`
+
+	// Events carry the extracted date strings verbatim — the parser
+	// labels lines, it does not normalize timestamps.
+	Events []ParsedEvent `json:"events,omitempty"`
+
+	// Registrant holds the second-level CRF's subfield extraction.
+	Registrant *ParsedContact `json:"registrant,omitempty"`
+
+	// Lines is the per-line labeling: the record as the CRF segmented
+	// it, for auditing a parse rather than consuming fields.
+	Lines []ParsedLine `json:"lines"`
+}
+
+// ParsedEvent mirrors Event with the raw extracted date string.
+type ParsedEvent struct {
+	EventAction string `json:"eventAction"`
+	EventDate   string `json:"eventDate"`
+}
+
+// ParsedContact is the extracted registrant block.
+type ParsedContact struct {
+	Name     string `json:"name,omitempty"`
+	ID       string `json:"id,omitempty"`
+	Org      string `json:"org,omitempty"`
+	Street   string `json:"street,omitempty"`
+	City     string `json:"city,omitempty"`
+	State    string `json:"state,omitempty"`
+	Postcode string `json:"postcode,omitempty"`
+	Country  string `json:"country,omitempty"`
+	Phone    string `json:"phone,omitempty"`
+	Fax      string `json:"fax,omitempty"`
+	Email    string `json:"email,omitempty"`
+}
+
+// ParsedLine is one labeled line of the record. Field is present only
+// on registrant lines, where the second-level CRF applies.
+type ParsedLine struct {
+	Title string `json:"title,omitempty"`
+	Value string `json:"value,omitempty"`
+	Block string `json:"block"`
+	Field string `json:"field,omitempty"`
+}
+
+// ParsedFromRecord shapes a statistical parse as RDAP-flavored JSON.
+func ParsedFromRecord(name string, pr *core.ParsedRecord) *ParsedDomain {
+	d := &ParsedDomain{
+		ObjectClassName: "domain",
+		LDHName:         name,
+		Source:          "statistical-whois-parse",
+		Registrar:       pr.Registrar,
+		RegistrarURL:    pr.RegistrarURL,
+		Port43:          pr.WhoisServer,
+	}
+	addEvent := func(action, date string) {
+		if date != "" {
+			d.Events = append(d.Events, ParsedEvent{EventAction: action, EventDate: date})
+		}
+	}
+	addEvent("registration", pr.CreatedDate)
+	addEvent("last changed", pr.UpdatedDate)
+	addEvent("expiration", pr.ExpiresDate)
+
+	if c := pr.Registrant; c != (core.Contact{}) {
+		d.Registrant = &ParsedContact{
+			Name: c.Name, ID: c.ID, Org: c.Org, Street: c.Street,
+			City: c.City, State: c.State, Postcode: c.Postcode,
+			Country: c.Country, Phone: c.Phone, Fax: c.Fax, Email: c.Email,
+		}
+	}
+
+	d.Lines = make([]ParsedLine, len(pr.Lines))
+	for i, ln := range pr.Lines {
+		pl := ParsedLine{Title: ln.Title, Value: ln.Value, Block: pr.Blocks[i].String()}
+		if pr.Blocks[i] == labels.Registrant {
+			pl.Field = pr.Fields[i].String()
+		}
+		d.Lines[i] = pl
+	}
+	return d
+}

@@ -2,6 +2,7 @@ package rdap
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,15 +10,20 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
 // Server is an HTTP RDAP endpoint serving /domain/{name} lookups over a
 // generated corpus — the structured-data counterfactual to the free-text
-// WHOIS ecosystem in internal/whoisd.
+// WHOIS ecosystem in internal/whoisd. With EnableParsed it additionally
+// serves /parsed/{name}: the statistical parser's reading of the raw
+// WHOIS text, through the shared serving layer in internal/serve.
 type Server struct {
 	mu      sync.RWMutex
 	domains map[string]*Domain
+	records map[string]string // raw WHOIS text, for /parsed/
+	parse   *serve.Server
 	httpSrv *http.Server
 	addr    string
 }
@@ -38,15 +44,44 @@ type errorResponse struct {
 	Description []string `json:"description,omitempty"`
 }
 
-// ServeHTTP implements http.Handler for /domain/{name}.
+// EnableParsed wires the statistical parse-serving layer into the
+// server: GET /parsed/{name} runs the domain's raw WHOIS text through ps
+// and answers with the labeled fields as RDAP-flavored JSON. Call before
+// Listen; the caller keeps ownership of ps (and closes it after Close).
+func (s *Server) EnableParsed(ps *serve.Server, domains []*synth.Domain) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.parse = ps
+	s.records = make(map[string]string, len(domains))
+	for _, d := range domains {
+		s.records[strings.ToLower(d.Reg.Domain)] = d.Render().Text
+	}
+}
+
+// ServeHTTP implements http.Handler for /domain/{name} and
+// /parsed/{name}.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/rdap+json")
-	const prefix = "/domain/"
-	if !strings.HasPrefix(r.URL.Path, prefix) {
-		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "unsupported path"})
+	// RDAP is a read-only protocol here: anything but GET/HEAD is a
+	// method error, not a failed lookup.
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
+			ErrorCode: 405, Title: "method not allowed",
+			Description: []string{r.Method + " is not supported; use GET or HEAD"}})
 		return
 	}
-	name := strings.ToLower(strings.TrimPrefix(r.URL.Path, prefix))
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/domain/"):
+		s.serveDomain(w, strings.ToLower(strings.TrimPrefix(r.URL.Path, "/domain/")))
+	case strings.HasPrefix(r.URL.Path, "/parsed/"):
+		s.serveParsed(w, r, strings.ToLower(strings.TrimPrefix(r.URL.Path, "/parsed/")))
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "unsupported path"})
+	}
+}
+
+func (s *Server) serveDomain(w http.ResponseWriter, name string) {
 	s.mu.RLock()
 	d, ok := s.domains[name]
 	s.mu.RUnlock()
@@ -56,6 +91,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) serveParsed(w http.ResponseWriter, r *http.Request, name string) {
+	s.mu.RLock()
+	ps := s.parse
+	text, ok := s.records[name]
+	s.mu.RUnlock()
+	if ps == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{ErrorCode: 501,
+			Title: "parsed view not enabled",
+			Description: []string{"this server was started without a parser"}})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "domain not found",
+			Description: []string{name + " is not registered here"}})
+		return
+	}
+	pr, err := ps.Parse(r.Context(), text)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+		// Saturation and drain both surface as a retryable 503 — the
+		// load-shedding contract of the serving layer made visible.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{ErrorCode: 503,
+			Title: "parse capacity exceeded",
+			Description: []string{"the parse queue is full; retry shortly"}})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{ErrorCode: 500,
+			Title: "parse failed", Description: []string{err.Error()}})
+		return
+	}
+	writeJSON(w, http.StatusOK, ParsedFromRecord(name, pr))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crf"
+	"repro/internal/optimize"
+	"repro/internal/synth"
+)
+
+// The serving benchmarks quantify what the layer buys over raw
+// core.Parser.Parse (BENCH_serve.json snapshots the trajectory):
+//
+//	BenchmarkServeCold          — cache-miss path, pool overhead included
+//	BenchmarkServeHot           — cache-hit path; must be >= 10x ServeCold
+//	BenchmarkServeColdParallel  — throughput under backpressure, no cache
+//	BenchmarkServeCoalesced     — concurrent identical requests
+//	BenchmarkParseDirect        — the unshared baseline
+
+var (
+	benchSetup  sync.Once
+	benchParser *core.Parser
+	benchTexts  []string
+)
+
+func setupBench(b *testing.B) {
+	b.Helper()
+	benchSetup.Do(func() {
+		recs := synth.GenerateLabeled(synth.Config{N: 800, Seed: 901})
+		// Train directly through core (experiments would close an
+		// import cycle back into serve via whoisd).
+		cfg := core.DefaultConfig()
+		lbfgs := optimize.DefaultLBFGSConfig()
+		lbfgs.MaxIterations = 40
+		cfg.Train = crf.TrainConfig{LBFGS: lbfgs}
+		p, _, err := core.Train(recs[:200], cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchParser = p
+		benchTexts = make([]string, 0, 512)
+		for _, r := range recs[200:712] {
+			benchTexts = append(benchTexts, r.Text)
+		}
+	})
+}
+
+func BenchmarkParseDirect(b *testing.B) {
+	setupBench(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchParser.Parse(benchTexts[i%len(benchTexts)])
+	}
+}
+
+func BenchmarkServeCold(b *testing.B) {
+	setupBench(b)
+	s := New(benchParser, Options{CacheCapacity: -1}) // every request parses
+	defer s.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ParseWait(ctx, benchTexts[i%len(benchTexts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeHot(b *testing.B) {
+	setupBench(b)
+	s := New(benchParser, Options{})
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Parse(ctx, benchTexts[0]); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Parse(ctx, benchTexts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeColdParallel(b *testing.B) {
+	setupBench(b)
+	s := New(benchParser, Options{CacheCapacity: -1})
+	defer s.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := 0
+		for pb.Next() {
+			// Distinct texts per iteration: all misses, throughput
+			// bounded by the worker pool via blocking admission.
+			if _, err := s.ParseWait(ctx, benchTexts[i%len(benchTexts)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkServeCoalesced(b *testing.B) {
+	setupBench(b)
+	s := New(benchParser, Options{CacheCapacity: -1}) // no cache: coalescing only
+	defer s.Close()
+	const fanout = 8
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// fanout concurrent requests for the same record: one parse,
+		// the rest attach to it. ns/op covers all fanout requests.
+		text := benchTexts[i%len(benchTexts)]
+		var wg sync.WaitGroup
+		for k := 0; k < fanout; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := s.ParseWait(ctx, text); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(fanout, "requests/op")
+	if st.Misses > 0 {
+		b.ReportMetric(float64(st.Coalesced)/float64(st.Misses), "coalesced/parse")
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// key identifies a raw record without storing its text: two independent
+// 64-bit hashes plus the length. h1 is an inline FNV-1a (stable, also
+// the shard selector); h2 is a maphash under a per-server random seed.
+// A false cache hit needs all three to collide — with 128+ bits of
+// independent hash over same-length texts that is beyond negligible, the
+// same stance internal/crf takes for its score cache signatures.
+type key struct {
+	h1 uint64
+	h2 uint64
+	n  int
+}
+
+// hashSeed carries the per-server maphash seed so keys are only
+// comparable within one Server (cache keys never persist).
+type hashSeed struct{ s maphash.Seed }
+
+func makeHashSeed() hashSeed { return hashSeed{maphash.MakeSeed()} }
+
+// hashKey computes the cache/coalescing key for a raw record. Zero
+// allocations: FNV-1a runs byte-wise over the string, maphash.String
+// hashes without copying.
+func (s *Server) hashKey(text string) key {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h1 := uint64(offset64)
+	for i := 0; i < len(text); i++ {
+		h1 ^= uint64(text[i])
+		h1 *= prime64
+	}
+	return key{h1: h1, h2: maphash.String(s.seed.s, text), n: len(text)}
+}
+
+// entry is one cached parse result.
+type entry struct {
+	k   key
+	rec *core.ParsedRecord
+}
+
+// shard is one lock domain of the cache: an LRU of parsed records plus
+// the singleflight registry for keys currently being parsed. Both live
+// under one mutex so the lookup→coalesce→register sequence is atomic.
+type shard struct {
+	mu       sync.Mutex
+	capacity int // 0 disables caching
+	entries  map[key]*list.Element
+	lru      list.List // front = most recently used
+	inflight map[key]*call
+}
+
+func (sh *shard) init(capacity int) {
+	sh.capacity = capacity
+	sh.entries = make(map[key]*list.Element)
+	sh.inflight = make(map[key]*call)
+	sh.lru.Init()
+}
+
+// get returns the cached record for k, promoting it to most recently
+// used. Callers hold sh.mu.
+func (sh *shard) get(k key) (*core.ParsedRecord, bool) {
+	el, ok := sh.entries[k]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return el.Value.(*entry).rec, true
+}
+
+// add caches rec under k, evicting the least recently used entry when
+// over capacity. Callers hold sh.mu.
+func (sh *shard) add(k key, rec *core.ParsedRecord) {
+	if sh.capacity <= 0 {
+		return
+	}
+	if el, ok := sh.entries[k]; ok {
+		el.Value.(*entry).rec = rec
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[k] = sh.lru.PushFront(&entry{k: k, rec: rec})
+	for sh.lru.Len() > sh.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*entry).k)
+	}
+}

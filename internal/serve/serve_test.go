@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// countingParse returns a ParseFunc that records how many times each
+// text was parsed, plus a getter.
+func countingParse() (ParseFunc, func(text string) int) {
+	var mu sync.Mutex
+	calls := make(map[string]int)
+	fn := func(text string) *core.ParsedRecord {
+		mu.Lock()
+		calls[text]++
+		mu.Unlock()
+		return &core.ParsedRecord{DomainName: text}
+	}
+	get := func(text string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return calls[text]
+	}
+	return fn, get
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	r1, err := s.Parse(ctx, "record a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Parse(ctx, "record a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cache hit should return the identical parsed record")
+	}
+	if got := calls("record a"); got != 1 {
+		t.Errorf("parse called %d times, want 1", got)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("CacheEntries = %d, want 1", st.CacheEntries)
+	}
+}
+
+func TestDistinctTextsDistinctEntries(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+	for _, text := range []string{"a", "b", "c"} {
+		if _, err := s.Parse(ctx, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, text := range []string{"a", "b", "c"} {
+		if got := calls(text); got != 1 {
+			t.Errorf("parse(%q) called %d times, want 1", text, got)
+		}
+	}
+	if st := s.Stats(); st.CacheEntries != 3 {
+		t.Errorf("CacheEntries = %d, want 3", st.CacheEntries)
+	}
+}
+
+func TestEvictionOrderLRU(t *testing.T) {
+	fn, calls := countingParse()
+	// One shard so the LRU order is global and deterministic.
+	s := NewFunc(fn, Options{Workers: 1, Shards: 1, CacheCapacity: 3})
+	defer s.Close()
+	ctx := context.Background()
+
+	for _, text := range []string{"a", "b", "c"} {
+		if _, err := s.Parse(ctx, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a": recency order is now a, c, b (b least recent).
+	if _, err := s.Parse(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// "d" evicts exactly one entry — the LRU, which must be "b".
+	if _, err := s.Parse(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheEntries != 3 {
+		t.Fatalf("CacheEntries = %d, want 3", st.CacheEntries)
+	}
+	for _, text := range []string{"a", "c", "d"} {
+		if _, err := s.Parse(ctx, text); err != nil {
+			t.Fatal(err)
+		}
+		if got := calls(text); got != 1 {
+			t.Errorf("%q re-parsed (%d calls): evicted out of LRU order", text, got)
+		}
+	}
+	if _, err := s.Parse(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls("b"); got != 2 {
+		t.Errorf("parse(\"b\") called %d times, want 2 (evicted as LRU)", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 1, CacheCapacity: -1})
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Parse(ctx, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls("x"); got != 3 {
+		t.Errorf("parse called %d times with cache disabled, want 3", got)
+	}
+	if st := s.Stats(); st.CacheEntries != 0 {
+		t.Errorf("CacheEntries = %d with cache disabled, want 0", st.CacheEntries)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	const waiters = 32
+	release := make(chan struct{})
+	var mu sync.Mutex
+	callCount := 0
+	s := NewFunc(func(text string) *core.ParsedRecord {
+		mu.Lock()
+		callCount++
+		mu.Unlock()
+		<-release
+		return &core.ParsedRecord{DomainName: text}
+	}, Options{Workers: 4})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	results := make([]*core.ParsedRecord, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Parse(context.Background(), "hot record")
+		}(i)
+	}
+	// All requests are in (one miss in flight, the rest coalesced).
+	waitFor(t, "coalesced waiters", func() bool {
+		st := s.Stats()
+		return st.Misses == 1 && st.Coalesced == waiters-1
+	})
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different record pointer", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if callCount != 1 {
+		t.Errorf("parse executed %d times for %d concurrent identical requests, want 1",
+			callCount, waiters)
+	}
+}
+
+func TestLoadShedAtQueueCapacity(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s := NewFunc(func(text string) *core.ParsedRecord {
+		started <- struct{}{}
+		<-release
+		return &core.ParsedRecord{DomainName: text}
+	}, Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	// Occupy the single worker.
+	go s.Parse(context.Background(), "busy")
+	<-started
+	// Fill the single queue slot.
+	go s.Parse(context.Background(), "queued")
+	waitFor(t, "queued job", func() bool { return s.Stats().Queued == 1 })
+
+	// The next distinct request must shed, fast and synchronously.
+	if _, err := s.Parse(context.Background(), "shed me"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Parse at capacity: err = %v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+	// Coalescing onto the queued key must still work while saturated.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Parse(context.Background(), "queued")
+		done <- err
+	}()
+	waitFor(t, "coalesce under load", func() bool { return s.Stats().Coalesced == 1 })
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("coalesced waiter: %v", err)
+	}
+}
+
+func TestParseWaitBlocksInsteadOfShedding(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s := NewFunc(func(text string) *core.ParsedRecord {
+		started <- struct{}{}
+		<-release
+		return &core.ParsedRecord{DomainName: text}
+	}, Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	go s.ParseWait(context.Background(), "busy")
+	<-started
+	go s.ParseWait(context.Background(), "queued")
+	waitFor(t, "queued job", func() bool { return s.Stats().Queued == 1 })
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := s.ParseWait(context.Background(), "backpressured")
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("ParseWait returned early with %v, want blocking backpressure", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("ParseWait after release: %v", err)
+	}
+	if st := s.Stats(); st.Shed != 0 {
+		t.Errorf("Shed = %d under ParseWait, want 0", st.Shed)
+	}
+}
+
+func TestDrainOnClose(t *testing.T) {
+	fn, calls := countingParse()
+	slow := func(text string) *core.ParsedRecord {
+		time.Sleep(2 * time.Millisecond)
+		return fn(text)
+	}
+	s := NewFunc(slow, Options{Workers: 2, QueueDepth: 64})
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.ParseWait(context.Background(), fmt.Sprintf("rec %d", i))
+		}(i)
+	}
+	// Wait until everything is admitted, then drain.
+	waitFor(t, "all admitted", func() bool {
+		st := s.Stats()
+		return st.Misses == n
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted request %d failed across Close: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := calls(fmt.Sprintf("rec %d", i)); got != 1 {
+			t.Errorf("rec %d parsed %d times, want 1", i, got)
+		}
+	}
+	// After drain, admission fails fast.
+	if _, err := s.Parse(context.Background(), "late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Parse after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := s.ParseWait(context.Background(), "late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("ParseWait after Close: err = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestParseBatchAlignmentAndDedup(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+
+	texts := []string{"a", "b", "a", "c", "b", "a"}
+	out, err := s.ParseBatch(context.Background(), texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(texts) {
+		t.Fatalf("got %d results for %d texts", len(out), len(texts))
+	}
+	for i, rec := range out {
+		if rec == nil || rec.DomainName != texts[i] {
+			t.Errorf("out[%d] = %+v, want record for %q", i, rec, texts[i])
+		}
+	}
+	for _, text := range []string{"a", "b", "c"} {
+		if got := calls(text); got != 1 {
+			t.Errorf("%q parsed %d times in batch, want 1 (dedup via coalescing)", text, got)
+		}
+	}
+}
+
+func TestContextCancelAbandonsWaitNotParse(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	fn, calls := countingParse()
+	s := NewFunc(func(text string) *core.ParsedRecord {
+		started <- struct{}{}
+		<-release
+		return fn(text)
+	}, Options{Workers: 1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Parse(ctx, "slow")
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	// The parse itself keeps running and lands in the cache.
+	close(release)
+	rec, err := s.Parse(context.Background(), "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.DomainName != "slow" {
+		t.Fatalf("post-cancel Parse = %+v", rec)
+	}
+	if got := calls("slow"); got != 1 {
+		t.Errorf("parse executed %d times, want 1 (cancel must not re-trigger)", got)
+	}
+}
+
+func TestStatsLatencyQuantiles(t *testing.T) {
+	s := NewFunc(func(text string) *core.ParsedRecord {
+		time.Sleep(time.Millisecond)
+		return &core.ParsedRecord{DomainName: text}
+	}, Options{Workers: 2, LatencyWindow: 8})
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := s.Parse(context.Background(), fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.LatencySamples != 8 {
+		t.Errorf("LatencySamples = %d, want window size 8", st.LatencySamples)
+	}
+	if st.ParseP50 <= 0 || st.ParseP99 < st.ParseP50 {
+		t.Errorf("implausible quantiles: p50=%s p99=%s", st.ParseP50, st.ParseP99)
+	}
+	if st.Parsed != 12 {
+		t.Errorf("Parsed = %d, want 12", st.Parsed)
+	}
+}
+
+// TestConcurrentMixedLoad hammers the full surface under the race
+// detector: hits, misses, coalescing, eviction and shedding all at once.
+func TestConcurrentMixedLoad(t *testing.T) {
+	fn, _ := countingParse()
+	s := NewFunc(fn, Options{Workers: 4, QueueDepth: 8, CacheCapacity: 16, Shards: 4})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				text := fmt.Sprintf("rec %d", (g*7+i)%32)
+				if _, err := s.Parse(context.Background(), text); err != nil && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("leaked work after quiesce: %+v", st)
+	}
+	if st.CacheEntries > 16 {
+		t.Errorf("cache over capacity: %d > 16", st.CacheEntries)
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the monotonic serving counters, updated lock-free.
+type counters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	shed      atomic.Uint64
+	parsed    atomic.Uint64
+	inFlight  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the serving layer.
+type Stats struct {
+	// Hits counts requests answered from the cache; Misses requests
+	// admitted for a fresh parse; Coalesced requests that attached to
+	// an identical in-flight parse; Shed requests rejected with
+	// ErrOverloaded; Parsed parses actually executed.
+	Hits, Misses, Coalesced, Shed, Parsed uint64
+	// InFlight is the number of admitted-but-unfinished parses, Queued
+	// how many of those are still waiting for a worker.
+	InFlight, Queued int
+	// CacheEntries is the current number of cached records.
+	CacheEntries int
+	// ParseP50/P90/P99 are parse-execution latency quantiles over the
+	// last LatencySamples parses (a fixed-size window, not all-time).
+	ParseP50, ParseP90, ParseP99 time.Duration
+	LatencySamples               int
+}
+
+// String renders the snapshot as a one-line log summary.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"hits=%d misses=%d coalesced=%d shed=%d parsed=%d inflight=%d queued=%d cached=%d p50=%s p90=%s p99=%s",
+		st.Hits, st.Misses, st.Coalesced, st.Shed, st.Parsed,
+		st.InFlight, st.Queued, st.CacheEntries, st.ParseP50, st.ParseP90, st.ParseP99)
+}
+
+// latencyRing is a fixed-size sample of recent parse latencies: a ring
+// overwritten circularly, so quantiles reflect the last len(buf) parses
+// with O(1) record cost and bounded memory.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   uint64 // total ever recorded
+}
+
+func (r *latencyRing) init(window int) { r.buf = make([]time.Duration, window) }
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns p50/p90/p99 over the filled portion of the window.
+func (r *latencyRing) quantiles() (p50, p90, p99 time.Duration, n int) {
+	r.mu.Lock()
+	n = len(r.buf)
+	if r.n < uint64(n) {
+		n = int(r.n)
+	}
+	sample := make([]time.Duration, n)
+	copy(sample, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(n-1))
+		return sample[i]
+	}
+	return q(0.50), q(0.90), q(0.99), n
+}

@@ -1,0 +1,116 @@
+package whoisd
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// ParseQueryPrefix marks a query asking for the parsed-field summary of
+// a record instead of its raw text: "--parse example.com". The mode is
+// active only on clusters started with ClusterConfig.Parse set.
+const ParseQueryPrefix = "--parse"
+
+// OverloadedResponse is what a --parse query receives when the serving
+// layer sheds it — the parse-mode analogue of RateLimitedResponse.
+const OverloadedResponse = "% Parse queue full. Access temporarily denied."
+
+// withParseMode intercepts ParseQueryPrefix queries: the wrapped handler
+// resolves the raw record (through its own rate limiting), the serving
+// layer parses it, and the labeled field summary is returned. ps == nil
+// returns h unchanged, so plain clusters pay nothing.
+func withParseMode(h HandlerFunc, ps *serve.Server) HandlerFunc {
+	if ps == nil {
+		return h
+	}
+	return func(src, q string) string {
+		rest, ok := cutParseQuery(q)
+		if !ok {
+			return h(src, q)
+		}
+		raw := h(src, rest)
+		// Pass refusals through untouched: no record to parse.
+		if raw == RateLimitedResponse || raw == registry.NoMatch {
+			return raw
+		}
+		pr, err := ps.Parse(context.Background(), raw)
+		switch {
+		case errors.Is(err, serve.ErrOverloaded):
+			return OverloadedResponse
+		case err != nil:
+			return "% Parse unavailable: " + err.Error()
+		}
+		return Summary(pr)
+	}
+}
+
+// cutParseQuery splits "--parse example.com" into its domain argument.
+// The prefix must be the whole first word; "--parsefoo" is a (doomed)
+// ordinary query, not a malformed parse request.
+func cutParseQuery(q string) (rest string, ok bool) {
+	after, found := strings.CutPrefix(q, ParseQueryPrefix)
+	if !found || after == "" || (after[0] != ' ' && after[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(after), true
+}
+
+// Summary renders a parsed record as the WHOIS-style key/value answer a
+// --parse query returns: the extracted top-level fields, the registrant
+// subfields, and a trailer with per-block line counts so callers can see
+// how the CRF segmented the record. Empty fields are omitted.
+func Summary(pr *core.ParsedRecord) string {
+	var b strings.Builder
+	b.Grow(512)
+	put := func(k, v string) {
+		if v != "" {
+			b.WriteString(k)
+			b.WriteString(": ")
+			b.WriteString(v)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("%% PARSED\n")
+	put("Domain Name", pr.DomainName)
+	put("Registrar", pr.Registrar)
+	put("Registrar URL", pr.RegistrarURL)
+	put("Whois Server", pr.WhoisServer)
+	put("Creation Date", pr.CreatedDate)
+	put("Updated Date", pr.UpdatedDate)
+	put("Expiration Date", pr.ExpiresDate)
+	put("Registrant Name", pr.Registrant.Name)
+	put("Registrant ID", pr.Registrant.ID)
+	put("Registrant Organization", pr.Registrant.Org)
+	put("Registrant Street", pr.Registrant.Street)
+	put("Registrant City", pr.Registrant.City)
+	put("Registrant State/Province", pr.Registrant.State)
+	put("Registrant Postal Code", pr.Registrant.Postcode)
+	put("Registrant Country", pr.Registrant.Country)
+	put("Registrant Phone", pr.Registrant.Phone)
+	put("Registrant Fax", pr.Registrant.Fax)
+	put("Registrant Email", pr.Registrant.Email)
+
+	var counts [labels.NumBlocks]int
+	for _, blk := range pr.Blocks {
+		if blk >= 0 && int(blk) < labels.NumBlocks {
+			counts[blk]++
+		}
+	}
+	b.WriteString("%% BLOCKS")
+	for i, n := range counts {
+		if n > 0 {
+			b.WriteString(" ")
+			b.WriteString(labels.Block(i).String())
+			b.WriteString("=")
+			b.WriteString(strconv.Itoa(n))
+		}
+	}
+	b.WriteString("\n%% END\n")
+	return b.String()
+}

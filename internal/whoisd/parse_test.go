@@ -1,0 +1,222 @@
+package whoisd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func TestCutParseQuery(t *testing.T) {
+	cases := []struct {
+		q, rest string
+		ok      bool
+	}{
+		{"--parse example.com", "example.com", true},
+		{"--parse\texample.com", "example.com", true},
+		{"--parse   spaced.com  ", "spaced.com", true},
+		{"example.com", "", false},
+		{"--parse", "", false},        // no argument
+		{"--parsefoo.com", "", false}, // prefix must be a whole word
+		{"", "", false},
+	}
+	for _, c := range cases {
+		rest, ok := cutParseQuery(c.q)
+		if rest != c.rest || ok != c.ok {
+			t.Errorf("cutParseQuery(%q) = %q,%v; want %q,%v", c.q, rest, ok, c.rest, c.ok)
+		}
+	}
+}
+
+func TestSummaryRendersAndOmitsEmpty(t *testing.T) {
+	pr := &core.ParsedRecord{
+		DomainName:  "example.com",
+		Registrar:   "Example Registrar",
+		CreatedDate: "2014-01-02",
+		Registrant:  core.Contact{Name: "Alice Example", Country: "US"},
+		Blocks:      []labels.Block{labels.Registrar, labels.Registrant, labels.Null},
+	}
+	got := Summary(pr)
+	for _, want := range []string{
+		"%% PARSED\n",
+		"Domain Name: example.com\n",
+		"Registrar: Example Registrar\n",
+		"Creation Date: 2014-01-02\n",
+		"Registrant Name: Alice Example\n",
+		"Registrant Country: US\n",
+		"%% BLOCKS registrar=1 registrant=1 null=1\n",
+		"%% END\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Registrant Email") {
+		t.Errorf("summary should omit empty fields:\n%s", got)
+	}
+}
+
+// fakeParseServer builds a serving layer whose parser marks each record
+// with a recognizable registrant, without training a model.
+func fakeParseServer() *serve.Server {
+	return serve.NewFunc(func(text string) *core.ParsedRecord {
+		return &core.ParsedRecord{
+			Registrant: core.Contact{Name: "PARSED:" + firstLine(text)},
+		}
+	}, serve.Options{Workers: 2})
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestClusterParseQueryMode(t *testing.T) {
+	domains := synth.Generate(synth.Config{N: 20, Seed: 61})
+	eco := registry.BuildEcosystem(domains, 0)
+	ps := fakeParseServer()
+	defer ps.Close()
+	cluster, err := StartCluster(eco, ClusterConfig{Window: time.Second, Penalty: time.Second, Parse: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	regAddr, err := cluster.Directory.Resolve(registry.RegistryServerName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := domains[0]
+
+	// A --parse query returns the summary, not the raw record.
+	resp := rawQuery(t, regAddr, "--parse "+d.Reg.Domain)
+	if !strings.Contains(resp, "%% PARSED") || !strings.Contains(resp, "Registrant Name: PARSED:") {
+		t.Errorf("--parse response not a summary:\n%s", resp)
+	}
+	// Plain queries are untouched.
+	plain := rawQuery(t, regAddr, d.Reg.Domain)
+	if strings.Contains(plain, "%% PARSED") {
+		t.Errorf("plain query got a parse summary:\n%s", plain)
+	}
+	// No-match passes through unparsed.
+	miss := rawQuery(t, regAddr, "--parse missing.example")
+	if !strings.Contains(miss, registry.NoMatch) {
+		t.Errorf("--parse of unknown domain: %q, want no-match passthrough", miss)
+	}
+
+	// The thick servers parse too.
+	thickAddr, err := cluster.Directory.Resolve(d.Reg.WhoisServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thick := rawQuery(t, thickAddr, "--parse "+d.Reg.Domain)
+	if !strings.Contains(thick, "%% PARSED") {
+		t.Errorf("thick --parse response not a summary:\n%s", thick)
+	}
+
+	if st := ps.Stats(); st.Parsed == 0 {
+		t.Error("serving layer saw no parses")
+	}
+}
+
+func TestParseModeSurfacesOverload(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ps := serve.NewFunc(func(text string) *core.ParsedRecord {
+		started <- struct{}{}
+		<-release
+		return &core.ParsedRecord{}
+	}, serve.Options{Workers: 1, QueueDepth: 1})
+	defer ps.Close()
+	defer close(release)
+
+	h := withParseMode(func(src, q string) string { return "record for " + q }, ps)
+
+	// Saturate: one parse on the worker, one in the queue.
+	go ps.Parse(context.Background(), "record busy")
+	<-started
+	go ps.Parse(context.Background(), "record queued")
+	deadline := time.Now().Add(5 * time.Second)
+	for ps.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := h("1.2.3.4", "--parse overflow.com"); got != OverloadedResponse {
+		t.Errorf("saturated --parse = %q, want OverloadedResponse", got)
+	}
+}
+
+func TestParseModeAfterClose(t *testing.T) {
+	ps := serve.NewFunc(func(text string) *core.ParsedRecord {
+		return &core.ParsedRecord{}
+	}, serve.Options{Workers: 1})
+	h := withParseMode(func(src, q string) string { return "record" }, ps)
+	ps.Close()
+	if got := h("1.2.3.4", "--parse x.com"); !strings.HasPrefix(got, "% Parse unavailable") {
+		t.Errorf("closed --parse = %q, want unavailable notice", got)
+	}
+}
+
+func TestServerLogsReadErrors(t *testing.T) {
+	var mu sync.Mutex
+	var logs []string
+	s := NewServer("t", HandlerFunc(echoHandler))
+	s.ReadTimeout = 30 * time.Millisecond
+	s.Logf = func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Connect and send nothing: the read deadline fires and the error
+	// must surface through Logf (a silent client is not an EOF).
+	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(logs)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read timeout never logged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(logs[0], "read") {
+		t.Errorf("log %q, want a read error", logs[0])
+	}
+}
+
+func TestWriteTimeoutDefault(t *testing.T) {
+	s := NewServer("t", HandlerFunc(echoHandler))
+	if s.WriteTimeout <= 0 {
+		t.Error("NewServer must default WriteTimeout; a stalled reader would pin writes forever")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/registry"
+	"repro/internal/serve"
 )
 
 // RateLimitedResponse is what a penalized source receives. Real servers
@@ -44,7 +46,12 @@ type Server struct {
 	Handler Handler
 	// ReadTimeout bounds how long the server waits for the query line.
 	ReadTimeout time.Duration
-	// Logf, when non-nil, receives diagnostic output.
+	// WriteTimeout bounds how long a response write may stall on a slow
+	// or dead reader before the connection is dropped; without it a
+	// stalled reader pins the response write (and its goroutine) forever.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives diagnostic output, including
+	// per-connection read and write errors.
 	Logf func(format string, args ...any)
 
 	mu       sync.Mutex
@@ -56,7 +63,13 @@ type Server struct {
 
 // NewServer builds a server with sane defaults.
 func NewServer(name string, h Handler) *Server {
-	return &Server{Name: name, Handler: h, ReadTimeout: 10 * time.Second, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		Name:         name,
+		Handler:      h,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+		conns:        make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and starts serving in a
@@ -111,6 +124,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	line, err := r.ReadString('\n')
 	if err != nil && line == "" {
+		// A bare EOF is a client that connected and went away — routine,
+		// not diagnostic. Timeouts and resets are worth surfacing.
+		if !errors.Is(err, io.EOF) {
+			s.logf("read %s: %v", remoteIP(conn), err)
+		}
 		return
 	}
 	query := strings.TrimRight(line, "\r\n")
@@ -119,9 +137,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	if !strings.HasSuffix(resp, "\n") {
 		resp += "\n"
 	}
-	_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if s.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
 	if _, err := conn.Write([]byte(strings.ReplaceAll(resp, "\n", "\r\n"))); err != nil {
-		s.logf("write: %v", err)
+		s.logf("write %s: %v", sourceIP, err)
 	}
 }
 
@@ -226,6 +246,12 @@ type ClusterConfig struct {
 	Penalty        time.Duration
 	// Logf receives diagnostics when non-nil.
 	Logf func(format string, args ...any)
+	// Parse, when non-nil, enables the "--parse <domain>" query mode on
+	// every server in the cluster: the record is looked up as usual
+	// (rate limits included), run through the shared parse-serving
+	// layer, and answered as a labeled field summary instead of raw
+	// text. See ParseQueryPrefix.
+	Parse *serve.Server
 }
 
 // StartCluster binds every server in the ecosystem to a loopback port.
@@ -240,7 +266,7 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 	}
 
 	regLim := mkLimiter(cfg.RegistryLimit)
-	regSrv := NewServer(registry.RegistryServerName, HandlerFunc(func(src, q string) string {
+	regSrv := NewServer(registry.RegistryServerName, withParseMode(HandlerFunc(func(src, q string) string {
 		if regLim != nil && !regLim.Allow(src, now()) {
 			return RateLimitedResponse
 		}
@@ -248,7 +274,7 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 			return rec
 		}
 		return registry.NoMatch
-	}))
+	}), cfg.Parse))
 	regSrv.Logf = cfg.Logf
 	addr, err := regSrv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -260,7 +286,7 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 	for _, name := range eco.Servers {
 		name := name
 		lim := mkLimiter(cfg.RegistrarLimit)
-		srv := NewServer(name, HandlerFunc(func(src, q string) string {
+		srv := NewServer(name, withParseMode(HandlerFunc(func(src, q string) string {
 			if lim != nil && !lim.Allow(src, now()) {
 				return RateLimitedResponse
 			}
@@ -268,7 +294,7 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 				return rec
 			}
 			return registry.NoMatch
-		}))
+		}), cfg.Parse))
 		srv.Logf = cfg.Logf
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
