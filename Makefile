@@ -1,10 +1,21 @@
 # Verification targets. `make verify` is the CI entry point: tier-1
 # build+test plus vet and a race-detector pass over the concurrent
-# serving paths (internal/serve and the frontends that sit on it).
+# serving paths (internal/serve, internal/obs, and the frontends that
+# sit on them). `make lint`, `make cover`, and `make benchcheck` are the
+# CI quality gates that run alongside it.
 
 GO ?= go
 
-.PHONY: verify vet build test race bench-serve
+# Minimum total statement coverage (percent) for the packages gated by
+# `make cover`.
+COVER_FLOOR ?= 70
+
+# Packages whose coverage is gated. internal/obs is the observability
+# layer everything reports through; internal/serve is the hot serving
+# path.
+COVER_PKGS = repro/internal/serve repro/internal/obs
+
+.PHONY: verify vet build test race bench-serve lint importcheck benchcheck cover
 
 verify: vet build test race
 
@@ -18,7 +29,46 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
+
+# lint: formatting, vet, and import hygiene. Fails if any file needs
+# gofmt, if vet complains, or if an internal package imports cmd.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(MAKE) importcheck
+
+# importcheck: library code must never depend on binaries. Checks the
+# full transitive deps of every internal package for repro/cmd/*.
+importcheck:
+	@bad=$$($(GO) list -f '{{.ImportPath}}: {{join .Deps " "}}' ./internal/... | grep 'repro/cmd' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "internal packages must not depend on cmd:"; echo "$$bad"; exit 1; \
+	fi
+	@echo "importcheck: ok"
+
+# benchcheck: run the smoke benchmarks (-count 3, min is kept) and
+# compare against the committed BENCH_*.json baselines. Tolerance is
+# 30%; widen with BENCH_TOL=0.5 on noisy machines.
+benchcheck:
+	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
+	$(GO) test -run '^$$' -bench 'BenchmarkPosterior$$|BenchmarkServeHot$$' -benchtime 200x -count 3 ./internal/serve . | /tmp/benchcheck BENCH_serve.json BENCH_inference.json
+
+# cover: per-package coverage floor. Writes cover.<pkg>.out profiles
+# (uploaded as CI artifacts) and fails if any gated package is below
+# COVER_FLOOR percent.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		out=cover.$$(basename $$pkg).out; \
+		$(GO) test -coverprofile=$$out $$pkg || exit 1; \
+		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg total coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {exit (p+0 < f+0) ? 1 : 0}' || \
+			{ echo "$$pkg is below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
+	done

@@ -1,0 +1,174 @@
+// Command benchcheck guards against performance regressions: it reads
+// `go test -bench` output on stdin, compares every measured benchmark
+// against the committed baselines in BENCH_*.json, and exits nonzero if
+// any ns/op exceeds its baseline by more than the tolerance.
+//
+// Run `-count 3` (or more) benchmarks and benchcheck keeps the minimum
+// per benchmark — the least-noisy estimate of the true cost on a shared
+// runner. The tolerance defaults to 30% and can be widened for noisy CI
+// machines via BENCH_TOL (a fraction, e.g. "0.5").
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Posterior|ServeHot' -benchtime 200x -count 3 \
+//	    ./internal/serve ./internal/crf . | benchcheck BENCH_serve.json BENCH_inference.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	tol := 0.30
+	if s := os.Getenv("BENCH_TOL"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: bad BENCH_TOL %q\n", s)
+			os.Exit(2)
+		}
+		tol = v
+	}
+
+	baselineFiles := os.Args[1:]
+	if len(baselineFiles) == 0 {
+		baselineFiles = []string{"BENCH_serve.json", "BENCH_inference.json"}
+	}
+	baselines := make(map[string]float64)
+	for _, path := range baselineFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if err := mergeBaselines(baselines, data); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+	}
+
+	measured, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	results, regressions := compare(measured, baselines, tol)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no measured benchmark matched a baseline — nothing was checked")
+		os.Exit(2)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s) beyond %.0f%% tolerance\n", regressions, tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within %.0f%% of baseline\n", len(results), tol*100)
+}
+
+// mergeBaselines pulls ns_op figures out of a BENCH_*.json document.
+// Two shapes exist in-tree: {"benchmarks": {name: {"ns_op": N}}} and the
+// before/after shape {"benchmarks": {name: {"after": {"ns_op": N}}}};
+// "after" (the current implementation) wins when both are present.
+func mergeBaselines(dst map[string]float64, data []byte) error {
+	var doc struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Benchmarks == nil {
+		return fmt.Errorf("no \"benchmarks\" object")
+	}
+	for name, raw := range doc.Benchmarks {
+		var entry struct {
+			NsOp  *float64 `json:"ns_op"`
+			After *struct {
+				NsOp *float64 `json:"ns_op"`
+			} `json:"after"`
+		}
+		if err := json.Unmarshal(raw, &entry); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		switch {
+		case entry.After != nil && entry.After.NsOp != nil:
+			dst[name] = *entry.After.NsOp
+		case entry.NsOp != nil:
+			dst[name] = *entry.NsOp
+		}
+	}
+	return nil
+}
+
+// parseBenchOutput extracts per-benchmark minimum ns/op from `go test
+// -bench` output. Benchmark names keep their sub-benchmark path but drop
+// the trailing -GOMAXPROCS suffix; with -count N the minimum of the N
+// samples is kept.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkX-8  200  856 ns/op  ..."
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if old, ok := out[name]; !ok || ns < old {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare lines up measured minima against baselines. Benchmarks with no
+// baseline are skipped (new benchmarks are not regressions); baselines
+// with no measurement are skipped too (the caller picks the -bench set).
+func compare(measured, baselines map[string]float64, tol float64) (lines []string, regressions int) {
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		if _, ok := baselines[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, want := measured[name], baselines[name]
+		ratio := got / want
+		status := "ok"
+		if got > want*(1+tol) {
+			status = "REGRESSION"
+			regressions++
+		}
+		lines = append(lines, fmt.Sprintf("%-40s baseline %12.0f ns/op, measured %12.0f ns/op (%+.1f%%)  %s",
+			name, want, got, (ratio-1)*100, status))
+	}
+	return lines, regressions
+}

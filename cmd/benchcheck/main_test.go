@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeHot-4        	     200	       900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeHot-4        	     200	       850 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeHot-4        	     200	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPosterior-4       	     200	     27000 ns/op
+BenchmarkParseAllWorkers/4-4	      10	  27000000 ns/op
+PASS
+ok  	repro/internal/serve	1.234s
+`
+
+func TestParseBenchOutputKeepsMinAndStripsProcSuffix(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkServeHot"] != 850 {
+		t.Errorf("ServeHot = %v, want min sample 850", got["BenchmarkServeHot"])
+	}
+	if got["BenchmarkPosterior"] != 27000 {
+		t.Errorf("Posterior = %v", got["BenchmarkPosterior"])
+	}
+	// Sub-benchmark path survives; only the -GOMAXPROCS suffix is cut.
+	if got["BenchmarkParseAllWorkers/4"] != 27000000 {
+		t.Errorf("sub-benchmark: %v", got)
+	}
+}
+
+func TestMergeBaselinesBothShapes(t *testing.T) {
+	dst := make(map[string]float64)
+	flat := `{"benchmarks": {"BenchmarkServeHot": {"ns_op": 856, "allocs_op": 0}}}`
+	nested := `{"benchmarks": {
+		"BenchmarkPosterior": {"before": null, "after": {"ns_op": 26106}},
+		"BenchmarkDecodeRecord": {"before": {"ns_op": 13775}, "after": {"ns_op": 2231}}}}`
+	if err := mergeBaselines(dst, []byte(flat)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBaselines(dst, []byte(nested)); err != nil {
+		t.Fatal(err)
+	}
+	if dst["BenchmarkServeHot"] != 856 {
+		t.Errorf("flat shape: %v", dst)
+	}
+	if dst["BenchmarkPosterior"] != 26106 {
+		t.Errorf("after-only shape: %v", dst)
+	}
+	if dst["BenchmarkDecodeRecord"] != 2231 {
+		t.Errorf("before/after shape must prefer after: %v", dst)
+	}
+}
+
+func TestMergeBaselinesRejectsMissingBenchmarks(t *testing.T) {
+	if err := mergeBaselines(map[string]float64{}, []byte(`{"description": "x"}`)); err == nil {
+		t.Error("want error for document without benchmarks object")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	measured := map[string]float64{
+		"BenchmarkServeHot":  900,   // +5% of 856: ok at 30%
+		"BenchmarkPosterior": 40000, // +53% of 26106: regression
+		"BenchmarkNew":       1,     // no baseline: skipped
+	}
+	baselines := map[string]float64{
+		"BenchmarkServeHot":  856,
+		"BenchmarkPosterior": 26106,
+		"BenchmarkUnrun":     123, // not measured: skipped
+	}
+	lines, regressions := compare(measured, baselines, 0.30)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (skip unmatched both ways): %v", len(lines), lines)
+	}
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1", regressions)
+	}
+	// Sorted by name: Posterior first, ServeHot second.
+	if !strings.Contains(lines[0], "REGRESSION") || !strings.Contains(lines[0], "BenchmarkPosterior") {
+		t.Errorf("posterior line: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "REGRESSION") {
+		t.Errorf("servehot line: %q", lines[1])
+	}
+
+	// A faster run is never a regression.
+	_, n := compare(map[string]float64{"BenchmarkServeHot": 400}, baselines, 0.30)
+	if n != 0 {
+		t.Errorf("speedup counted as regression")
+	}
+}

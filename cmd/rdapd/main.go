@@ -19,12 +19,15 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/rdap"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -43,20 +46,29 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	parseQueue := flag.Int("parse-queue", 0, "admission queue depth (0 = 8x workers); overflow answers 503")
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
 	flag.Parse()
+
+	// One registry shared by every layer: the RDAP handler, the
+	// parse-serving layer, and the CRF decoders below it all report here,
+	// and --debug-addr exports the lot.
+	reg := obs.NewRegistry()
 
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
 	srv := rdap.NewServer(domains)
+	srv.Instrument(reg)
 
 	if *parseMode {
 		p, err := loadOrTrainParser(*model, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
+		p.Instrument(reg)
 		ps := serve.New(p, serve.Options{
 			Workers:       *parseWorkers,
 			QueueDepth:    *parseQueue,
 			CacheCapacity: *parseCache,
+			Metrics:       reg,
 		})
 		defer func() {
 			ps.Close() // drain in-flight parses after the listener stops
@@ -70,6 +82,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbg := &http.Server{Handler: obs.DebugMux(reg)}
+		go func() { _ = dbg.Serve(dl) }()
+		defer dbg.Close()
+		log.Printf("debug endpoints at http://%s/debug/vars and /debug/pprof/", dl.Addr())
+	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
 	if *parseMode {
 		log.Printf("parsed view at http://%s/parsed/{name}", addr)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/obs"
 	"repro/internal/whoisclient"
 	"repro/internal/whoisd"
 )
@@ -33,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 16, "concurrent crawl workers")
 	sources := flag.String("sources", "127.0.0.2,127.0.0.3,127.0.0.4", "comma-separated source IPs")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall crawl deadline")
+	verbose := flag.Bool("v", false, "log per-query diagnostics (rate limits, retries)")
 	flag.Parse()
 
 	dir, err := readDirectory(*dirFile)
@@ -44,12 +46,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The crawl registry accumulates per-host retry/rate-limit/byte
+	// counters alongside the aggregate stats; it is dumped after the run.
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger("whoiscrawl", os.Stderr)
+	if !*verbose {
+		logger.SetLevel(obs.LevelError)
+	}
+
 	c, err := crawler.New(crawler.Config{
 		Resolver:        dir,
 		Sources:         strings.Split(*sources, ","),
 		Workers:         *workers,
 		InitialInterval: 2 * time.Millisecond,
 		MaxInterval:     600 * time.Millisecond,
+		Log:             logger,
+		Metrics:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,6 +104,11 @@ func main() {
 		}
 	}
 	log.Printf("wrote %d records to %s", written, *outFile)
+	log.Printf("final stats:")
+	if err := reg.WriteJSON(os.Stderr); err != nil {
+		log.Printf("stats dump failed: %v", err)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 // thinRegistrar extracts the "Registrar:" value from a thin record.

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -52,7 +55,14 @@ func main() {
 	model := flag.String("model", "", "trained parser model for -parse (empty = train a small one at startup)")
 	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address (empty disables)")
 	flag.Parse()
+
+	// One registry across the cluster: per-server query counters, the
+	// parse-serving layer, and the CRF decoders all report here. It is
+	// exported live on -metrics-addr and dumped at shutdown either way.
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger("whoisd", os.Stderr)
 
 	log.Printf("generating %d domains (seed %d)", *n, *seed)
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
@@ -64,7 +74,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ps = serve.New(p, serve.Options{Workers: *parseWorkers, CacheCapacity: *parseCache})
+		p.Instrument(reg)
+		ps = serve.New(p, serve.Options{Workers: *parseWorkers, CacheCapacity: *parseCache, Metrics: reg})
 		defer func() {
 			ps.Close() // drain in-flight parses before exit
 			log.Printf("parse serving: %s", ps.Stats())
@@ -78,6 +89,8 @@ func main() {
 		Window:         *window,
 		Penalty:        *penalty,
 		Parse:          ps,
+		Log:            logger,
+		Metrics:        reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,10 +110,32 @@ func main() {
 		len(eco.Servers), *dirFile, *zoneFile)
 	log.Printf("try: printf 'example.com\\r\\n' | nc %s", addr)
 
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msrv := &http.Server{Handler: reg}
+		go func() { _ = msrv.Serve(ml) }()
+		defer msrv.Close()
+		log.Printf("metrics at http://%s/", ml.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	dumpStats(reg)
+}
+
+// dumpStats writes the final registry snapshot to stderr, one metric per
+// line — the end-of-run accounting for batch use and smoke tests.
+func dumpStats(reg *obs.Registry) {
+	log.Printf("final stats:")
+	if err := reg.WriteJSON(os.Stderr); err != nil {
+		log.Printf("stats dump failed: %v", err)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func writeDirectory(path string, cluster *whoisd.Cluster) error {

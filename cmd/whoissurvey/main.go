@@ -17,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/survey"
 	"repro/internal/synth"
@@ -36,6 +39,7 @@ func main() {
 	synthetic := flag.Int("synthetic", 0, "generate and survey N synthetic records instead of -in")
 	seed := flag.Int64("seed", 2, "seed for -synthetic")
 	workers := flag.Int("workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address while the survey runs (empty disables)")
 	flag.Parse()
 
 	p, err := whoisparse.Load(*model)
@@ -43,12 +47,37 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One registry for the whole run: CRF decode latency, parse-serving
+	// cache behaviour, and batch progress all land here. -metrics-addr
+	// exports it live (useful on long crawls); the final snapshot is
+	// dumped to stderr either way.
+	reg := obs.NewRegistry()
+	p.Instrument(reg)
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msrv := &http.Server{Handler: reg}
+		go func() { _ = msrv.Serve(ml) }()
+		defer msrv.Close()
+		log.Printf("metrics at http://%s/", ml.Addr())
+	}
+
 	// The shared parse-serving layer is the batch driver: blocking
 	// admission gives backpressure against the bounded worker pool, and
 	// the cache/coalescing path deduplicates repeated record texts
 	// (registrars reuse templates, so real crawls repeat themselves).
-	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15})
+	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15, Metrics: reg})
 	defer ps.Close()
+	defer func() {
+		log.Printf("final stats:")
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			log.Printf("stats dump failed: %v", err)
+		}
+		fmt.Fprintln(os.Stderr)
+	}()
 	parseAll := func(texts []string) []*whoisparse.ParsedRecord {
 		out, err := ps.ParseBatch(context.Background(), texts)
 		if err != nil {

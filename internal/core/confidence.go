@@ -44,6 +44,12 @@ func (p *Parser) Confidence(text string) ([]LineConfidence, float64) {
 			min = prob
 		}
 	}
+	if p.met != nil {
+		// The distribution of weakest-link confidence across records is
+		// the live triage dashboard: a growing low tail means a new
+		// format is arriving (§5.3).
+		p.met.confidenceMin.Observe(min)
+	}
 	return out, min
 }
 

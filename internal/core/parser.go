@@ -14,9 +14,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/crf"
 	"repro/internal/labels"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/tokenize"
 )
@@ -51,6 +53,37 @@ type Parser struct {
 	cfg   Config
 	block *crf.Model // first level: 6 states
 	field *crf.Model // second level: 12 states
+	met   *parserMetrics
+}
+
+// parserMetrics are the parse-path observability handles (see
+// Instrument). Nil on uninstrumented parsers — the common test path —
+// so the hot path pays one nil check.
+type parserMetrics struct {
+	parseSeconds  *obs.Histogram
+	parses        *obs.Counter
+	lines         *obs.Counter
+	confidenceMin *obs.Histogram
+}
+
+// Instrument wires the parser and both CRF levels into reg:
+// core.parse.seconds / core.parse.calls / core.parse.lines for the full
+// two-level parse, crf.block.* and crf.field.* for per-level decode
+// latency and token throughput, and core.confidence.min for the
+// distribution of per-record minimum posterior confidence (the §5.3
+// triage signal). Call once, before the parser is shared across
+// goroutines.
+func (p *Parser) Instrument(reg *obs.Registry) {
+	p.met = &parserMetrics{
+		parseSeconds:  reg.Histogram("core.parse.seconds", obs.DurationBounds()),
+		parses:        reg.Counter("core.parse.calls"),
+		lines:         reg.Counter("core.parse.lines"),
+		confidenceMin: reg.Histogram("core.confidence.min", obs.UnitBounds()),
+	}
+	p.block.Instrument(reg, "crf.block")
+	if p.field != nil {
+		p.field.Instrument(reg, "crf.field")
+	}
 }
 
 // TrainStats reports optimizer outcomes for both levels.
@@ -291,6 +324,10 @@ func (pr *ParsedRecord) Clone() *ParsedRecord {
 
 // Parse runs both levels on raw record text and extracts fields.
 func (p *Parser) Parse(text string) *ParsedRecord {
+	var start time.Time
+	if p.met != nil {
+		start = time.Now()
+	}
 	lines, blocks := p.ParseBlocks(text)
 	out := &ParsedRecord{
 		Lines:  lines,
@@ -298,6 +335,11 @@ func (p *Parser) Parse(text string) *ParsedRecord {
 		Fields: p.ParseFields(lines, blocks),
 	}
 	p.extract(out)
+	if p.met != nil {
+		p.met.parseSeconds.ObserveSince(start)
+		p.met.parses.Inc()
+		p.met.lines.Add(uint64(len(lines)))
+	}
 	return out
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/whoisclient"
 )
@@ -41,8 +42,12 @@ type Config struct {
 	MaxInterval time.Duration
 	// Timeout bounds each query (default 10s).
 	Timeout time.Duration
-	// Logf receives diagnostics when non-nil.
-	Logf func(format string, args ...any)
+	// Log receives structured diagnostics; nil drops them.
+	Log *obs.Logger
+	// Metrics is the registry crawl counters and stage timings are
+	// recorded into (crawler.* and per-host whoisclient.<server>.*);
+	// nil means a private registry reachable via Crawler.Metrics.
+	Metrics *obs.Registry
 }
 
 // Result is the crawl outcome for one domain.
@@ -100,8 +105,33 @@ type serverPace struct {
 // each server's limit and "subsequently quer[ies] well under this limit").
 type Crawler struct {
 	cfg   Config
+	reg   *obs.Registry
+	met   crawlMetrics
 	mu    sync.Mutex
 	paces map[string]*serverPace
+	cmet  map[string]*whoisclient.Metrics // per-server client counters
+}
+
+// crawlMetrics are the crawl-wide counters (per-host counts live in the
+// whoisclient.<server>.* and crawler.host.<server>.* families).
+type crawlMetrics struct {
+	domains     *obs.Counter
+	thinOK      *obs.Counter
+	thickOK     *obs.Counter
+	noMatch     *obs.Counter
+	failures    *obs.Counter
+	rateLimited *obs.Counter
+	retries     *obs.Counter
+}
+
+func (m *crawlMetrics) register(reg *obs.Registry) {
+	m.domains = reg.Counter("crawler.domains")
+	m.thinOK = reg.Counter("crawler.thin.ok")
+	m.thickOK = reg.Counter("crawler.thick.ok")
+	m.noMatch = reg.Counter("crawler.nomatch")
+	m.failures = reg.Counter("crawler.failures")
+	m.rateLimited = reg.Counter("crawler.ratelimited")
+	m.retries = reg.Counter("crawler.retries")
 }
 
 // New builds a Crawler, applying defaults.
@@ -127,7 +157,34 @@ func New(cfg Config) (*Crawler, error) {
 	if len(cfg.Sources) == 0 {
 		cfg.Sources = []string{""}
 	}
-	return &Crawler{cfg: cfg, paces: make(map[string]*serverPace)}, nil
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Crawler{
+		cfg:   cfg,
+		reg:   reg,
+		paces: make(map[string]*serverPace),
+		cmet:  make(map[string]*whoisclient.Metrics),
+	}
+	c.met.register(reg)
+	return c, nil
+}
+
+// Metrics returns the registry the crawler records into.
+func (c *Crawler) Metrics() *obs.Registry { return c.reg }
+
+// clientMetrics returns the cached per-server whoisclient counters, so
+// retries, timeouts, and bytes are attributable per host.
+func (c *Crawler) clientMetrics(server string) *whoisclient.Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.cmet[server]
+	if m == nil {
+		m = whoisclient.NewMetrics(c.reg, "whoisclient."+server)
+		c.cmet[server] = m
+	}
+	return m
 }
 
 func (c *Crawler) pace(server string) *serverPace {
@@ -268,42 +325,54 @@ feed:
 
 func (c *Crawler) crawlOne(ctx context.Context, domain string, worker int, stats *Stats) Result {
 	res := Result{Domain: domain}
+	c.met.domains.Inc()
 
+	thinSpan := c.reg.Start("crawler.thin")
 	thin, attempts, err := c.queryWithRetry(ctx, c.cfg.Registry, domain, worker, stats)
+	thinSpan.End(err)
 	res.Attempts += attempts
 	if err != nil {
 		res.Err = fmt.Errorf("crawler: thin %s: %w", domain, err)
 		if errors.Is(err, whoisclient.ErrNoMatch) {
 			atomic.AddInt64(&stats.NoMatch, 1)
+			c.met.noMatch.Inc()
 		} else {
 			atomic.AddInt64(&stats.Failures, 1)
+			c.met.failures.Inc()
 		}
 		return res
 	}
 	res.Thin = thin
 	atomic.AddInt64(&stats.ThinOK, 1)
+	c.met.thinOK.Inc()
 
 	server, ok := whoisclient.ExtractReferral(thin)
 	if !ok {
 		res.Err = whoisclient.ErrNoReferral
 		atomic.AddInt64(&stats.Failures, 1)
+		c.met.failures.Inc()
 		return res
 	}
 	res.WhoisServer = server
 
+	thickSpan := c.reg.Start("crawler.thick")
 	thick, attempts, err := c.queryWithRetry(ctx, server, domain, worker, stats)
+	thickSpan.End(err)
 	res.Attempts += attempts
 	if err != nil {
 		res.Err = fmt.Errorf("crawler: thick %s at %s: %w", domain, server, err)
 		if errors.Is(err, whoisclient.ErrNoMatch) {
 			atomic.AddInt64(&stats.NoMatch, 1)
+			c.met.noMatch.Inc()
 		} else {
 			atomic.AddInt64(&stats.Failures, 1)
+			c.met.failures.Inc()
 		}
 		return res
 	}
 	res.Thick = thick
 	atomic.AddInt64(&stats.ThickOK, 1)
+	c.met.thickOK.Inc()
 	return res
 }
 
@@ -311,13 +380,16 @@ func (c *Crawler) crawlOne(ctx context.Context, domain string, worker int, stats
 // rotates the source address, up to cfg.Attempts total tries.
 func (c *Crawler) queryWithRetry(ctx context.Context, server, domain string, worker int, stats *Stats) (string, int, error) {
 	p := c.pace(server)
+	cm := c.clientMetrics(server)
+	hostRetries := c.reg.Counter("crawler.host." + server + ".retries")
+	hostLimited := c.reg.Counter("crawler.host." + server + ".ratelimited")
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
 		if err := p.wait(ctx); err != nil {
 			return "", attempt, err
 		}
 		src := c.cfg.Sources[(worker+attempt)%len(c.cfg.Sources)]
-		client := &whoisclient.Client{Resolver: c.cfg.Resolver, Timeout: c.cfg.Timeout, LocalIP: src}
+		client := &whoisclient.Client{Resolver: c.cfg.Resolver, Timeout: c.cfg.Timeout, LocalIP: src, Metrics: cm}
 		resp, err := client.Query(ctx, server, domain)
 		switch {
 		case err == nil:
@@ -329,19 +401,20 @@ func (c *Crawler) queryWithRetry(ctx context.Context, server, domain string, wor
 		case errors.Is(err, whoisclient.ErrRateLimited), errors.Is(err, whoisclient.ErrEmpty):
 			atomic.AddInt64(&stats.RateLimitHits, 1)
 			atomic.AddInt64(&stats.Retries, 1)
+			c.met.rateLimited.Inc()
+			c.met.retries.Inc()
+			hostLimited.Inc()
+			hostRetries.Inc()
 			p.onRateLimit(c.cfg.MaxInterval)
 			lastErr = err
-			c.logf("rate limited by %s (attempt %d, source %q)", server, attempt+1, src)
+			c.cfg.Log.Warn("rate limited", "server", server, "domain", domain, "attempt", attempt+1, "source", src)
 		default:
 			atomic.AddInt64(&stats.Retries, 1)
+			c.met.retries.Inc()
+			hostRetries.Inc()
 			lastErr = err
+			c.cfg.Log.Warn("query failed", "server", server, "domain", domain, "attempt", attempt+1, "err", err)
 		}
 	}
 	return "", c.cfg.Attempts, fmt.Errorf("crawler: %d attempts exhausted: %w", c.cfg.Attempts, lastErr)
-}
-
-func (c *Crawler) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf("crawler: "+format, args...)
-	}
 }

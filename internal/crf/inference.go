@@ -18,6 +18,7 @@ func (m *Model) Decode(inst Instance) ([]int, float64) {
 	if T == 0 {
 		return nil, 0
 	}
+	defer m.observeDecode(m.decodeStart(), T)
 	s := getScratch()
 	defer putScratch(s)
 	m.fillLattice(s, m.theta, inst, m.curCache())
@@ -159,6 +160,7 @@ func (m *Model) Posterior(inst Instance) Posterior {
 	if T == 0 {
 		return Posterior{}
 	}
+	defer m.observeDecode(m.decodeStart(), T)
 	s := getScratch()
 	defer putScratch(s)
 	m.fillLattice(s, m.theta, inst, m.curCache())

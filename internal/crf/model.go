@@ -25,7 +25,9 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tokenize"
 )
 
@@ -80,6 +82,49 @@ type Model struct {
 	// scores caches per-line-shape score rows for the current theta; it is
 	// swapped out wholesale on every theta mutation (see engine.go).
 	scores atomic.Pointer[scoreCache]
+
+	// met, when non-nil, receives decode latency and token throughput
+	// (see Instrument). Set once before concurrent use.
+	met *modelMetrics
+}
+
+// modelMetrics are the inference-path observability handles.
+type modelMetrics struct {
+	decodeSeconds *obs.Histogram
+	decodes       *obs.Counter
+	tokens        *obs.Counter
+}
+
+// Instrument wires the model's inference hot paths (Decode, Posterior)
+// into reg under <prefix>.decode.seconds, <prefix>.decodes, and
+// <prefix>.tokens — tokens being label positions decoded, so tokens/s is
+// tokens ÷ decode.seconds sum. Call before the model is shared across
+// goroutines; the recording itself is lock-free.
+func (m *Model) Instrument(reg *obs.Registry, prefix string) {
+	m.met = &modelMetrics{
+		decodeSeconds: reg.Histogram(prefix+".decode.seconds", obs.DurationBounds()),
+		decodes:       reg.Counter(prefix + ".decodes"),
+		tokens:        reg.Counter(prefix + ".tokens"),
+	}
+}
+
+// observeDecode records one inference pass over T positions.
+func (m *Model) observeDecode(start time.Time, T int) {
+	if m.met == nil {
+		return
+	}
+	m.met.decodeSeconds.ObserveSince(start)
+	m.met.decodes.Inc()
+	m.met.tokens.Add(uint64(T))
+}
+
+// decodeStart returns the wall-clock start for observeDecode, avoiding
+// the time.Now call entirely on uninstrumented models.
+func (m *Model) decodeStart() time.Time {
+	if m.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // New builds an untrained model over the given dictionary. The feature

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the daemon debug surface over a registry: /debug/vars
+// serves the metrics snapshot as JSON (expvar-style), and /debug/pprof/
+// exposes the standard runtime profiles. The handlers are registered
+// explicitly on a private mux — importing this package does not touch
+// http.DefaultServeMux. Daemons mount it behind an operator-only
+// address (rdapd --debug-addr, whoisd/whoissurvey --metrics-addr).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", r)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

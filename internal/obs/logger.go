@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Records below the logger's level are dropped
+// before any formatting work happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level as its key=value token.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// Logger is a leveled key=value logger. It replaces the ad-hoc
+// `Logf func(format string, args ...any)` fields that used to be
+// scattered across crawler/whoisd configs: a nil *Logger is valid and
+// drops everything, so callers need no nil checks, and the sink can be
+// swapped at runtime (e.g. redirected to a file on SIGHUP) without
+// synchronizing the writers.
+//
+// One record is one line:
+//
+//	ts=2026-08-06T12:00:00Z level=warn comp=whoisd msg="write failed" peer=127.0.0.2 err="broken pipe"
+type Logger struct {
+	state *loggerState
+	comp  string
+	ctx   string // pre-rendered " k=v" pairs from With
+}
+
+// loggerState is shared across a logger and all its With-derived
+// children, so SetLevel/SetSink on any of them affects the family.
+type loggerState struct {
+	level atomic.Int32
+	sink  atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps the writer interface so it can live in an
+// atomic.Pointer.
+type sinkBox struct{ w io.Writer }
+
+// NewLogger builds a logger for one component writing to sink at
+// LevelInfo. The sink's Write must be safe for concurrent use (os.Stderr
+// is; wrap test buffers in a lock).
+func NewLogger(component string, sink io.Writer) *Logger {
+	st := &loggerState{}
+	st.level.Store(int32(LevelInfo))
+	st.sink.Store(&sinkBox{w: sink})
+	return &Logger{state: st, comp: component}
+}
+
+// SetLevel changes the minimum level for this logger and all loggers
+// derived from it with With.
+func (l *Logger) SetLevel(lv Level) {
+	if l == nil {
+		return
+	}
+	l.state.level.Store(int32(lv))
+}
+
+// SetSink atomically swaps the output writer for this logger family.
+func (l *Logger) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.state.sink.Store(&sinkBox{w: w})
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.state.level.Load()
+}
+
+// With returns a child logger whose records carry the given key=value
+// pairs in addition to the parent's. With on a nil logger is nil.
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(l.ctx)
+	appendKVs(&b, kvs)
+	return &Logger{state: l.state, comp: l.comp, ctx: b.String()}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func (l *Logger) log(lv Level, msg string, kvs []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	if l.comp != "" {
+		b.WriteString(" comp=")
+		writeValue(&b, l.comp)
+	}
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	b.WriteString(l.ctx)
+	appendKVs(&b, kvs)
+	b.WriteByte('\n')
+	// One Write call per record so concurrent records do not interleave
+	// mid-line (both os.Stderr and locked buffers honor this).
+	_, _ = io.WriteString(l.state.sink.Load().w, b.String())
+}
+
+// appendKVs renders alternating key, value pairs; a trailing odd value
+// is logged under the key "!badkey" rather than dropped.
+func appendKVs(b *strings.Builder, kvs []any) {
+	for i := 0; i < len(kvs); i += 2 {
+		b.WriteByte(' ')
+		if i+1 >= len(kvs) {
+			b.WriteString("!badkey=")
+			writeValue(b, fmt.Sprint(kvs[i]))
+			return
+		}
+		b.WriteString(fmt.Sprint(kvs[i]))
+		b.WriteByte('=')
+		writeValue(b, fmt.Sprint(kvs[i+1]))
+	}
+}
+
+// writeValue quotes values that would break the key=value grammar.
+func writeValue(b *strings.Builder, s string) {
+	if needsQuote(s) {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}
+
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Spans are the lightweight tracing half of the package: a span times
+// one stage ("parse", "crawl.thick", "rdap.parsed") and records its
+// duration and outcome into the registry under <name>.seconds,
+// <name>.calls, and <name>.errors. There is no propagation or sampling —
+// just per-stage latency and error visibility at ~two time.Now calls of
+// overhead.
+
+type registryKey struct{}
+
+// WithRegistry returns a context carrying r; Start on that context
+// records into r instead of Default.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFrom returns the registry attached to ctx, or Default.
+func RegistryFrom(ctx context.Context) *Registry {
+	if r, ok := ctx.Value(registryKey{}).(*Registry); ok && r != nil {
+		return r
+	}
+	return Default
+}
+
+// Span is one in-progress timed stage. End it exactly once.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// Start begins a span named name against the context's registry and
+// returns the (unchanged) context alongside it.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, RegistryFrom(ctx).Start(name)
+}
+
+// Start begins a span recording into this registry.
+func (r *Registry) Start(name string) *Span {
+	return &Span{r: r, name: name, start: time.Now()}
+}
+
+// End records the span's duration and outcome: <name>.calls always
+// increments, <name>.errors increments when err is non-nil, and the
+// elapsed time lands in the <name>.seconds histogram. End on a nil span
+// is a no-op.
+func (s *Span) End(err error) {
+	if s == nil || s.r == nil {
+		return
+	}
+	s.r.Histogram(s.name+".seconds", DurationBounds()).ObserveSince(s.start)
+	s.r.Counter(s.name + ".calls").Inc()
+	if err != nil {
+		s.r.Counter(s.name + ".errors").Inc()
+	}
+}

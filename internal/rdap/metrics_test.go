@@ -1,0 +1,91 @@
+package rdap
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// TestDebugVarsAfterTraffic is the acceptance path for the observability
+// layer: an instrumented RDAP server backed by an instrumented serving
+// layer, traffic through /parsed/{name}, then a scrape of /debug/vars
+// (the same mux rdapd mounts behind --debug-addr) asserting the serve
+// cache counters and the parse-latency histogram are live.
+func TestDebugVarsAfterTraffic(t *testing.T) {
+	reg := obs.NewRegistry()
+	domains := synth.Generate(synth.Config{N: 8, Seed: 814})
+	srv := NewServer(domains)
+	srv.Instrument(reg)
+	ps := serve.NewFunc(func(text string) *core.ParsedRecord {
+		return &core.ParsedRecord{Registrar: "R"}
+	}, serve.Options{Workers: 2, Metrics: reg})
+	defer ps.Close()
+	srv.EnableParsed(ps, domains)
+
+	name := strings.ToLower(domains[0].Reg.Domain)
+	for _, path := range []string{
+		"/parsed/" + name,        // miss: one real parse
+		"/parsed/" + name,        // hit: served from cache
+		"/parsed/absent.example", // 404
+	} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+	}
+
+	// Scrape the debug mux exactly as an operator would.
+	ts := httptest.NewServer(obs.DebugMux(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+
+	counter := func(name string) float64 {
+		v, ok := vars[name].(float64)
+		if !ok {
+			t.Fatalf("%s missing or not a number in /debug/vars: %v", name, vars[name])
+		}
+		return v
+	}
+	if got := counter("serve.cache.hits"); got != 1 {
+		t.Errorf("serve.cache.hits = %v, want 1", got)
+	}
+	if got := counter("serve.cache.misses"); got != 1 {
+		t.Errorf("serve.cache.misses = %v, want 1", got)
+	}
+	if got := counter("serve.shed"); got != 0 {
+		t.Errorf("serve.shed = %v, want 0", got)
+	}
+	if got := counter("rdap.requests"); got != 3 {
+		t.Errorf("rdap.requests = %v, want 3", got)
+	}
+	if got := counter("rdap.notfound"); got != 1 {
+		t.Errorf("rdap.notfound = %v, want 1", got)
+	}
+
+	hist, ok := vars["serve.parse.seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("serve.parse.seconds missing or not a histogram: %v", vars["serve.parse.seconds"])
+	}
+	if n, _ := hist["count"].(float64); n < 1 {
+		t.Errorf("serve.parse.seconds count = %v, want >= 1 after traffic", hist["count"])
+	}
+	if buckets, _ := hist["buckets"].([]any); len(buckets) == 0 {
+		t.Error("serve.parse.seconds has no buckets after traffic")
+	}
+}

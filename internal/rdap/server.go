@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -26,6 +27,27 @@ type Server struct {
 	parse   *serve.Server
 	httpSrv *http.Server
 	addr    string
+	met     *serverMetrics
+}
+
+// serverMetrics are the HTTP-layer counters; the parse-serving layer
+// below carries its own serve.* metrics in the same registry.
+type serverMetrics struct {
+	requests *obs.Counter   // rdap.requests: every request, any path
+	notFound *obs.Counter   // rdap.notfound: 404 lookups
+	parsed   *obs.Histogram // rdap.parsed.seconds: /parsed handler latency
+}
+
+// Instrument registers the server's request counters in reg. Call before
+// Listen; a server without Instrument records nothing.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = &serverMetrics{
+		requests: reg.Counter("rdap.requests"),
+		notFound: reg.Counter("rdap.notfound"),
+		parsed:   reg.Histogram("rdap.parsed.seconds", obs.DurationBounds()),
+	}
 }
 
 // NewServer indexes the given corpus.
@@ -71,11 +93,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Description: []string{r.Method + " is not supported; use GET or HEAD"}})
 		return
 	}
+	s.mu.RLock()
+	met := s.met
+	s.mu.RUnlock()
+	if met != nil {
+		met.requests.Inc()
+	}
 	switch {
 	case strings.HasPrefix(r.URL.Path, "/domain/"):
 		s.serveDomain(w, strings.ToLower(strings.TrimPrefix(r.URL.Path, "/domain/")))
 	case strings.HasPrefix(r.URL.Path, "/parsed/"):
+		start := time.Now()
 		s.serveParsed(w, r, strings.ToLower(strings.TrimPrefix(r.URL.Path, "/parsed/")))
+		if met != nil {
+			met.parsed.ObserveSince(start)
+		}
 	default:
 		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "unsupported path"})
 	}
@@ -84,8 +116,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveDomain(w http.ResponseWriter, name string) {
 	s.mu.RLock()
 	d, ok := s.domains[name]
+	met := s.met
 	s.mu.RUnlock()
 	if !ok {
+		if met != nil {
+			met.notFound.Inc()
+		}
 		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "domain not found",
 			Description: []string{name + " is not registered here"}})
 		return
@@ -97,14 +133,18 @@ func (s *Server) serveParsed(w http.ResponseWriter, r *http.Request, name string
 	s.mu.RLock()
 	ps := s.parse
 	text, ok := s.records[name]
+	met := s.met
 	s.mu.RUnlock()
 	if ps == nil {
 		writeJSON(w, http.StatusNotImplemented, errorResponse{ErrorCode: 501,
-			Title: "parsed view not enabled",
+			Title:       "parsed view not enabled",
 			Description: []string{"this server was started without a parser"}})
 		return
 	}
 	if !ok {
+		if met != nil {
+			met.notFound.Inc()
+		}
 		writeJSON(w, http.StatusNotFound, errorResponse{ErrorCode: 404, Title: "domain not found",
 			Description: []string{name + " is not registered here"}})
 		return
@@ -116,7 +156,7 @@ func (s *Server) serveParsed(w http.ResponseWriter, r *http.Request, name string
 		// load-shedding contract of the serving layer made visible.
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{ErrorCode: 503,
-			Title: "parse capacity exceeded",
+			Title:       "parse capacity exceeded",
 			Description: []string{"the parse queue is full; retry shortly"}})
 		return
 	case err != nil:

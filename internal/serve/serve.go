@@ -19,8 +19,10 @@
 //     into fast failures instead of an unbounded pile of goroutines.
 //
 // Close drains: admission stops (ErrClosed) while every accepted parse
-// still completes and wakes its waiters. Stats exposes a snapshot of the
-// counters and parse-latency quantiles over a fixed-size sample window.
+// still completes and wakes its waiters. All counters, gauges, and the
+// parse-latency histogram live in an internal/obs Registry (shared with
+// the daemons' /debug/vars when Options.Metrics is set); Stats remains
+// as a convenience snapshot read back from those metrics.
 package serve
 
 import (
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 var (
@@ -63,9 +66,12 @@ type Options struct {
 	// Shards is the number of cache/coalescing shards, rounded up to a
 	// power of two; <= 0 means 16.
 	Shards int
-	// LatencyWindow is the size of the parse-latency sample ring;
-	// <= 0 means 512.
-	LatencyWindow int
+	// Metrics is the observability registry the server records into
+	// (serve.* counters, gauges, and the parse-latency histogram — see
+	// DESIGN.md §5c). Nil means a private registry, reachable via
+	// Server.Metrics; daemons pass a shared registry so /debug/vars
+	// shows the serving layer next to everything else.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -86,8 +92,8 @@ func (o Options) withDefaults() Options {
 		p <<= 1
 	}
 	o.Shards = p
-	if o.LatencyWindow <= 0 {
-		o.LatencyWindow = 512
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -107,8 +113,8 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	c   counters
-	lat latencyRing
+	reg *obs.Registry
+	m   metrics
 }
 
 // New builds a serving layer over a trained parser.
@@ -124,6 +130,7 @@ func NewFunc(fn ParseFunc, opts Options) *Server {
 		shards: make([]shard, o.Shards),
 		seed:   makeHashSeed(),
 		queue:  make(chan *call, o.QueueDepth),
+		reg:    o.Metrics,
 	}
 	perShard := 0
 	if o.CacheCapacity > 0 {
@@ -135,12 +142,30 @@ func NewFunc(fn ParseFunc, opts Options) *Server {
 	for i := range s.shards {
 		s.shards[i].init(perShard)
 	}
-	s.lat.init(o.LatencyWindow)
+	s.m.register(s.reg)
+	s.reg.GaugeFunc("serve.queue.depth", func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("serve.cache.entries", func() float64 { return float64(s.cacheEntries()) })
 	for w := 0; w < o.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// Metrics returns the registry the server records into — the one passed
+// via Options.Metrics, or the private one created by default.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// cacheEntries counts cached records across shards.
+func (s *Server) cacheEntries() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // call is one in-flight parse that any number of requests may wait on.
@@ -228,12 +253,12 @@ func (s *Server) admit(ctx context.Context, text string, wait bool) (*call, *cor
 	sh.mu.Lock()
 	if rec, ok := sh.get(k); ok {
 		sh.mu.Unlock()
-		s.c.hits.Add(1)
+		s.m.hits.Inc()
 		return nil, rec, nil
 	}
 	if c, ok := sh.inflight[k]; ok {
 		sh.mu.Unlock()
-		s.c.coalesced.Add(1)
+		s.m.coalesced.Inc()
 		return c, nil, nil
 	}
 	c := &call{k: k, text: text, done: make(chan struct{})}
@@ -265,12 +290,12 @@ func (s *Server) admit(ctx context.Context, text string, wait bool) (*call, *cor
 		default:
 			s.mu.RUnlock()
 			s.abort(sh, c, ErrOverloaded)
-			s.c.shed.Add(1)
+			s.m.shed.Inc()
 			return nil, nil, ErrOverloaded
 		}
 	}
-	s.c.misses.Add(1)
-	s.c.inFlight.Add(1)
+	s.m.misses.Inc()
+	s.m.inFlight.Add(1)
 	return c, nil, nil
 }
 
@@ -292,7 +317,7 @@ func (s *Server) worker() {
 	for c := range s.queue {
 		start := time.Now()
 		rec := s.parse(c.text)
-		s.lat.record(time.Since(start))
+		s.m.latency.ObserveSince(start)
 
 		c.rec = rec
 		sh := &s.shards[int(c.k.h1)&(len(s.shards)-1)]
@@ -304,8 +329,8 @@ func (s *Server) worker() {
 		sh.mu.Unlock()
 		close(c.done)
 
-		s.c.parsed.Add(1)
-		s.c.inFlight.Add(-1)
+		s.m.parsed.Inc()
+		s.m.inFlight.Add(-1)
 	}
 }
 
@@ -325,23 +350,22 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Stats returns a consistent-enough snapshot of the serving counters.
+// Stats returns a consistent-enough snapshot of the serving counters,
+// read back from the obs registry the hot paths record into.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Hits:      s.c.hits.Load(),
-		Misses:    s.c.misses.Load(),
-		Coalesced: s.c.coalesced.Load(),
-		Shed:      s.c.shed.Load(),
-		Parsed:    s.c.parsed.Load(),
-		InFlight:  int(s.c.inFlight.Load()),
-		Queued:    len(s.queue),
+		Hits:         s.m.hits.Value(),
+		Misses:       s.m.misses.Value(),
+		Coalesced:    s.m.coalesced.Value(),
+		Shed:         s.m.shed.Value(),
+		Parsed:       s.m.parsed.Value(),
+		InFlight:     int(s.m.inFlight.Value()),
+		Queued:       len(s.queue),
+		CacheEntries: s.cacheEntries(),
 	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		st.CacheEntries += sh.lru.Len()
-		sh.mu.Unlock()
-	}
-	st.ParseP50, st.ParseP90, st.ParseP99, st.LatencySamples = s.lat.quantiles()
+	st.ParseP50 = s.m.latency.QuantileDuration(0.50)
+	st.ParseP90 = s.m.latency.QuantileDuration(0.90)
+	st.ParseP99 = s.m.latency.QuantileDuration(0.99)
+	st.LatencySamples = int(s.m.latency.Count())
 	return st
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // countingParse returns a ParseFunc that records how many times each
@@ -382,7 +383,7 @@ func TestStatsLatencyQuantiles(t *testing.T) {
 	s := NewFunc(func(text string) *core.ParsedRecord {
 		time.Sleep(time.Millisecond)
 		return &core.ParsedRecord{DomainName: text}
-	}, Options{Workers: 2, LatencyWindow: 8})
+	}, Options{Workers: 2})
 	defer s.Close()
 	for i := 0; i < 12; i++ {
 		if _, err := s.Parse(context.Background(), fmt.Sprintf("r%d", i)); err != nil {
@@ -390,14 +391,47 @@ func TestStatsLatencyQuantiles(t *testing.T) {
 		}
 	}
 	st := s.Stats()
-	if st.LatencySamples != 8 {
-		t.Errorf("LatencySamples = %d, want window size 8", st.LatencySamples)
+	// The histogram covers every parse since start — no window, and in
+	// particular no zero-valued pre-wrap slots dragging quantiles down
+	// (the bug class the old ring buffer invited).
+	if st.LatencySamples != 12 {
+		t.Errorf("LatencySamples = %d, want all 12 parses", st.LatencySamples)
 	}
-	if st.ParseP50 <= 0 || st.ParseP99 < st.ParseP50 {
-		t.Errorf("implausible quantiles: p50=%s p99=%s", st.ParseP50, st.ParseP99)
+	if st.ParseP50 < time.Millisecond || st.ParseP99 < st.ParseP50 {
+		t.Errorf("implausible quantiles: p50=%s p99=%s (parses sleep 1ms)", st.ParseP50, st.ParseP99)
 	}
 	if st.Parsed != 12 {
 		t.Errorf("Parsed = %d, want 12", st.Parsed)
+	}
+}
+
+// TestMetricsExposed asserts the serve.* metrics land in the registry
+// the server was built with — the contract /debug/vars depends on.
+func TestMetricsExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	fn, _ := countingParse()
+	s := NewFunc(fn, Options{Workers: 2, Metrics: reg})
+	defer s.Close()
+	if s.Metrics() != reg {
+		t.Fatal("Metrics() did not return the injected registry")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Parse(context.Background(), "same"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["serve.cache.hits"] != uint64(3) {
+		t.Errorf("serve.cache.hits = %v, want 3", snap["serve.cache.hits"])
+	}
+	if snap["serve.cache.misses"] != uint64(1) {
+		t.Errorf("serve.cache.misses = %v, want 1", snap["serve.cache.misses"])
+	}
+	if got := reg.Histogram("serve.parse.seconds", nil).Count(); got != 1 {
+		t.Errorf("serve.parse.seconds count = %d, want 1", got)
+	}
+	if got := snap["serve.cache.entries"]; got != float64(1) {
+		t.Errorf("serve.cache.entries = %v, want 1", got)
 	}
 }
 

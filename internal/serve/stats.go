@@ -2,20 +2,37 @@ package serve
 
 import (
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// counters are the monotonic serving counters, updated lock-free.
-type counters struct {
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	shed      atomic.Uint64
-	parsed    atomic.Uint64
-	inFlight  atomic.Int64
+// metrics bundles the serving layer's obs handles. All hot-path updates
+// are lock-free atomic operations; the parse-latency histogram replaces
+// the bespoke ring buffer this package used to carry (the ring's
+// pre-wrap window handling was subtle enough to grow a bug class of its
+// own — fixed-bucket histograms cannot report unfilled slots, and their
+// quantiles cover all traffic rather than the last N parses).
+type metrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	shed      *obs.Counter
+	parsed    *obs.Counter
+	inFlight  *obs.Gauge
+	latency   *obs.Histogram
+}
+
+// register creates the serving metrics in reg under the serve.* names
+// documented in DESIGN.md §5c.
+func (m *metrics) register(reg *obs.Registry) {
+	m.hits = reg.Counter("serve.cache.hits")
+	m.misses = reg.Counter("serve.cache.misses")
+	m.coalesced = reg.Counter("serve.coalesced")
+	m.shed = reg.Counter("serve.shed")
+	m.parsed = reg.Counter("serve.parsed")
+	m.inFlight = reg.Gauge("serve.inflight")
+	m.latency = reg.Histogram("serve.parse.seconds", obs.DurationBounds())
 }
 
 // Stats is a point-in-time snapshot of the serving layer.
@@ -30,10 +47,12 @@ type Stats struct {
 	InFlight, Queued int
 	// CacheEntries is the current number of cached records.
 	CacheEntries int
-	// ParseP50/P90/P99 are parse-execution latency quantiles over the
-	// last LatencySamples parses (a fixed-size window, not all-time).
+	// ParseP50/P90/P99 are parse-execution latency quantiles estimated
+	// from the serve.parse.seconds histogram buckets, over all parses
+	// since the server started.
 	ParseP50, ParseP90, ParseP99 time.Duration
-	LatencySamples               int
+	// LatencySamples is the number of parses the quantiles cover.
+	LatencySamples int
 }
 
 // String renders the snapshot as a one-line log summary.
@@ -42,43 +61,4 @@ func (st Stats) String() string {
 		"hits=%d misses=%d coalesced=%d shed=%d parsed=%d inflight=%d queued=%d cached=%d p50=%s p90=%s p99=%s",
 		st.Hits, st.Misses, st.Coalesced, st.Shed, st.Parsed,
 		st.InFlight, st.Queued, st.CacheEntries, st.ParseP50, st.ParseP90, st.ParseP99)
-}
-
-// latencyRing is a fixed-size sample of recent parse latencies: a ring
-// overwritten circularly, so quantiles reflect the last len(buf) parses
-// with O(1) record cost and bounded memory.
-type latencyRing struct {
-	mu  sync.Mutex
-	buf []time.Duration
-	n   uint64 // total ever recorded
-}
-
-func (r *latencyRing) init(window int) { r.buf = make([]time.Duration, window) }
-
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.n%uint64(len(r.buf))] = d
-	r.n++
-	r.mu.Unlock()
-}
-
-// quantiles returns p50/p90/p99 over the filled portion of the window.
-func (r *latencyRing) quantiles() (p50, p90, p99 time.Duration, n int) {
-	r.mu.Lock()
-	n = len(r.buf)
-	if r.n < uint64(n) {
-		n = int(r.n)
-	}
-	sample := make([]time.Duration, n)
-	copy(sample, r.buf[:n])
-	r.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0, 0
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	q := func(p float64) time.Duration {
-		i := int(p * float64(n-1))
-		return sample[i]
-	}
-	return q(0.50), q(0.90), q(0.99), n
 }

@@ -14,6 +14,8 @@ import (
 	"net"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Resolver maps a logical WHOIS server name ("whois.godaddy.com") to a
@@ -41,6 +43,45 @@ type Client struct {
 	LocalIP string
 	// MaxResponse bounds the accepted response size (default 1 MiB).
 	MaxResponse int64
+	// Metrics, when non-nil, receives per-query observability counts.
+	// The crawler keeps one Metrics per target server, so bytes and
+	// timeouts are attributable per host.
+	Metrics *Metrics
+}
+
+// Metrics are a client's observability counters. Queries counts every
+// attempt, Errors transport failures (dial/read/send), Timeouts the
+// subset of those that were deadline expiries, Bytes response bytes
+// read. Protocol-level refusals (rate limits, no-match) are not Errors —
+// the crawler accounts for those itself.
+type Metrics struct {
+	Queries  *obs.Counter
+	Errors   *obs.Counter
+	Timeouts *obs.Counter
+	Bytes    *obs.Counter
+}
+
+// NewMetrics creates the client counters in reg under
+// <prefix>.queries/.errors/.timeouts/.bytes.
+func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
+	return &Metrics{
+		Queries:  reg.Counter(prefix + ".queries"),
+		Errors:   reg.Counter(prefix + ".errors"),
+		Timeouts: reg.Counter(prefix + ".timeouts"),
+		Bytes:    reg.Counter(prefix + ".bytes"),
+	}
+}
+
+// fail records a transport error, distinguishing timeouts.
+func (m *Metrics) fail(err error) {
+	if m == nil {
+		return
+	}
+	m.Errors.Inc()
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, context.DeadlineExceeded) {
+		m.Timeouts.Inc()
+	}
 }
 
 // Errors the client distinguishes.
@@ -56,6 +97,9 @@ func (c *Client) Query(ctx context.Context, serverName, query string) (string, e
 	if c.Resolver == nil {
 		return "", errors.New("whoisclient: nil resolver")
 	}
+	if c.Metrics != nil {
+		c.Metrics.Queries.Inc()
+	}
 	addr, err := c.Resolver.Resolve(serverName)
 	if err != nil {
 		return "", fmt.Errorf("whoisclient: resolve %s: %w", serverName, err)
@@ -70,6 +114,7 @@ func (c *Client) Query(ctx context.Context, serverName, query string) (string, e
 	}
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		c.Metrics.fail(err)
 		return "", fmt.Errorf("whoisclient: dial %s (%s): %w", serverName, addr, err)
 	}
 	defer conn.Close()
@@ -80,6 +125,7 @@ func (c *Client) Query(ctx context.Context, serverName, query string) (string, e
 	_ = conn.SetDeadline(deadline)
 
 	if _, err := io.WriteString(conn, query+"\r\n"); err != nil {
+		c.Metrics.fail(err)
 		return "", fmt.Errorf("whoisclient: send query to %s: %w", serverName, err)
 	}
 	limit := c.MaxResponse
@@ -87,7 +133,11 @@ func (c *Client) Query(ctx context.Context, serverName, query string) (string, e
 		limit = 1 << 20
 	}
 	data, err := io.ReadAll(io.LimitReader(bufio.NewReader(conn), limit))
+	if c.Metrics != nil {
+		c.Metrics.Bytes.Add(uint64(len(data)))
+	}
 	if err != nil {
+		c.Metrics.fail(err)
 		return "", fmt.Errorf("whoisclient: read response from %s: %w", serverName, err)
 	}
 	resp := strings.ReplaceAll(string(data), "\r\n", "\n")

@@ -2,7 +2,6 @@ package whoisd
 
 import (
 	"context"
-	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -11,10 +10,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/labels"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
+
+// writerFunc adapts a function to io.Writer for logger sinks in tests.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 func TestCutParseQuery(t *testing.T) {
 	cases := []struct {
@@ -173,14 +178,19 @@ func TestParseModeAfterClose(t *testing.T) {
 
 func TestServerLogsReadErrors(t *testing.T) {
 	var mu sync.Mutex
-	var logs []string
+	var buf strings.Builder
+	logs := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
 	s := NewServer("t", HandlerFunc(echoHandler))
 	s.ReadTimeout = 30 * time.Millisecond
-	s.Logf = func(format string, args ...any) {
+	s.Log = obs.NewLogger("whoisd", writerFunc(func(p []byte) (int, error) {
 		mu.Lock()
-		logs = append(logs, fmt.Sprintf(format, args...))
-		mu.Unlock()
-	}
+		defer mu.Unlock()
+		return buf.Write(p)
+	}))
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -188,29 +198,23 @@ func TestServerLogsReadErrors(t *testing.T) {
 	defer s.Close()
 
 	// Connect and send nothing: the read deadline fires and the error
-	// must surface through Logf (a silent client is not an EOF).
+	// must surface through the structured logger (a silent client is not
+	// an EOF).
 	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		mu.Lock()
-		n := len(logs)
-		mu.Unlock()
-		if n > 0 {
-			break
-		}
+	for logs() == "" {
 		if time.Now().After(deadline) {
 			t.Fatal("read timeout never logged")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if !strings.Contains(logs[0], "read") {
-		t.Errorf("log %q, want a read error", logs[0])
+	got := logs()
+	if !strings.Contains(got, "read failed") || !strings.Contains(got, "server=t") {
+		t.Errorf("log %q, want a structured read error tagged with the server name", got)
 	}
 }
 

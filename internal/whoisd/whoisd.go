@@ -12,12 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
 )
@@ -50,9 +50,9 @@ type Server struct {
 	// or dead reader before the connection is dropped; without it a
 	// stalled reader pins the response write (and its goroutine) forever.
 	WriteTimeout time.Duration
-	// Logf, when non-nil, receives diagnostic output, including
-	// per-connection read and write errors.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured diagnostics, including
+	// per-connection read and write errors. A nil logger drops them.
+	Log *obs.Logger
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -93,7 +93,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 		conn, err := l.Accept()
 		if err != nil {
 			if !s.isClosed() {
-				s.logf("accept: %v", err)
+				s.warn("accept failed", "err", err)
 			}
 			return
 		}
@@ -127,7 +127,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// A bare EOF is a client that connected and went away — routine,
 		// not diagnostic. Timeouts and resets are worth surfacing.
 		if !errors.Is(err, io.EOF) {
-			s.logf("read %s: %v", remoteIP(conn), err)
+			s.warn("read failed", "peer", remoteIP(conn), "err", err)
 		}
 		return
 	}
@@ -141,7 +141,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 	}
 	if _, err := conn.Write([]byte(strings.ReplaceAll(resp, "\n", "\r\n"))); err != nil {
-		s.logf("write %s: %v", sourceIP, err)
+		s.warn("write failed", "peer", sourceIP, "err", err)
 	}
 }
 
@@ -159,10 +159,9 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf("whoisd %s: "+format, append([]any{s.Name}, args...)...)
-	}
+// warn logs a per-connection diagnostic tagged with the server name.
+func (s *Server) warn(msg string, kvs ...any) {
+	s.Log.Warn(msg, append([]any{"server", s.Name}, kvs...)...)
 }
 
 // Close stops the listener, closes live connections, and waits for the
@@ -234,6 +233,7 @@ func (d *Directory) Names() []string {
 type Cluster struct {
 	Directory *Directory
 	servers   []*Server
+	log       *obs.Logger
 }
 
 // ClusterConfig tunes the per-server rate limits.
@@ -244,8 +244,11 @@ type ClusterConfig struct {
 	RegistrarLimit int
 	Window         time.Duration
 	Penalty        time.Duration
-	// Logf receives diagnostics when non-nil.
-	Logf func(format string, args ...any)
+	// Log receives structured diagnostics; nil drops them.
+	Log *obs.Logger
+	// Metrics, when non-nil, receives cluster-wide query counters
+	// (whoisd.queries, whoisd.ratelimited, whoisd.nomatch).
+	Metrics *obs.Registry
 	// Parse, when non-nil, enables the "--parse <domain>" query mode on
 	// every server in the cluster: the record is looked up as usual
 	// (rate limits included), run through the shared parse-serving
@@ -256,7 +259,7 @@ type ClusterConfig struct {
 
 // StartCluster binds every server in the ecosystem to a loopback port.
 func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) {
-	c := &Cluster{Directory: NewDirectory()}
+	c := &Cluster{Directory: NewDirectory(), log: cfg.Log}
 	now := time.Now
 	mkLimiter := func(limit int) *registry.RateLimiter {
 		if limit <= 0 {
@@ -265,17 +268,30 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 		return registry.NewRateLimiter(limit, cfg.Window, cfg.Penalty)
 	}
 
+	// Cluster-wide counters; a nil Metrics registry means a private one
+	// (still counted, just not exported anywhere).
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	queries := reg.Counter("whoisd.queries")
+	limited := reg.Counter("whoisd.ratelimited")
+	noMatch := reg.Counter("whoisd.nomatch")
+
 	regLim := mkLimiter(cfg.RegistryLimit)
 	regSrv := NewServer(registry.RegistryServerName, withParseMode(HandlerFunc(func(src, q string) string {
+		queries.Inc()
 		if regLim != nil && !regLim.Allow(src, now()) {
+			limited.Inc()
 			return RateLimitedResponse
 		}
 		if rec, ok := eco.LookupThin(q); ok {
 			return rec
 		}
+		noMatch.Inc()
 		return registry.NoMatch
 	}), cfg.Parse))
-	regSrv.Logf = cfg.Logf
+	regSrv.Log = cfg.Log
 	addr, err := regSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -287,15 +303,18 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 		name := name
 		lim := mkLimiter(cfg.RegistrarLimit)
 		srv := NewServer(name, withParseMode(HandlerFunc(func(src, q string) string {
+			queries.Inc()
 			if lim != nil && !lim.Allow(src, now()) {
+				limited.Inc()
 				return RateLimitedResponse
 			}
 			if rec, ok := eco.LookupThick(name, q); ok {
 				return rec
 			}
+			noMatch.Inc()
 			return registry.NoMatch
 		}), cfg.Parse))
-		srv.Logf = cfg.Logf
+		srv.Log = cfg.Log
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			c.Close()
@@ -311,7 +330,7 @@ func StartCluster(eco *registry.Ecosystem, cfg ClusterConfig) (*Cluster, error) 
 func (c *Cluster) Close() {
 	for _, s := range c.servers {
 		if err := s.Close(); err != nil {
-			log.Printf("whoisd: close %s: %v", s.Name, err)
+			c.log.Warn("close failed", "server", s.Name, "err", err)
 		}
 	}
 }
