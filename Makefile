@@ -12,10 +12,10 @@ COVER_FLOOR ?= 70
 
 # Packages whose coverage is gated. internal/obs is the observability
 # layer everything reports through; internal/serve is the hot serving
-# path.
-COVER_PKGS = repro/internal/serve repro/internal/obs
+# path; internal/store is the persistence layer under both.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store
 
-.PHONY: verify vet build test race bench-serve lint importcheck benchcheck cover
+.PHONY: verify vet build test race bench-serve lint importcheck benchcheck cover fuzz-smoke
 
 verify: vet build test race
 
@@ -29,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
@@ -58,7 +58,16 @@ importcheck:
 # 30%; widen with BENCH_TOL=0.5 on noisy machines.
 benchcheck:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
-	$(GO) test -run '^$$' -bench 'BenchmarkPosterior$$|BenchmarkServeHot$$' -benchtime 200x -count 3 ./internal/serve . | /tmp/benchcheck BENCH_serve.json BENCH_inference.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkPosterior$$|BenchmarkServeHot$$' -benchtime 200x -count 3 ./internal/serve . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStoreAppend$$|BenchmarkStoreScan$$' -benchtime 4096x -count 3 ./internal/store ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json
+
+# fuzz-smoke: replay the checked-in seed corpora and fuzz the record
+# decoder briefly. Not part of verify; run before touching encoding.go.
+fuzz-smoke:
+	$(GO) test -run TestFuzzSeeds ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzFrameScan -fuzztime 10s ./internal/store/
 
 # cover: per-package coverage floor. Writes cover.<pkg>.out profiles
 # (uploaded as CI artifacts) and fails if any gated package is below

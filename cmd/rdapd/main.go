@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdap"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/synth"
 
 	whoisparse "repro"
@@ -46,6 +47,7 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	parseQueue := flag.Int("parse-queue", 0, "admission queue depth (0 = 8x workers); overflow answers 503")
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
+	storeDir := flag.String("store", "", "warm-start the parse cache from this record store's newest segment")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 			ps.Close() // drain in-flight parses after the listener stops
 			log.Printf("parse serving: %s", ps.Stats())
 		}()
+		if *storeDir != "" {
+			n, err := warmStart(ps, *storeDir, reg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("warm start: preloaded %d parsed records from %s", n, *storeDir)
+		}
 		srv.EnableParsed(ps, domains)
 	}
 
@@ -103,6 +112,30 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+}
+
+// warmStart replays the newest store segment (the records written
+// closest to the previous shutdown) into the serving cache: records that
+// carry both their raw text and a parsed view preload under the same
+// cache key a live request for that text would compute.
+func warmStart(ps *serve.Server, dir string, reg *obs.Registry) (int, error) {
+	st, err := store.Open(dir, store.Options{Metrics: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	it := st.IterNewestSegment()
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		rec := it.Record()
+		if rec.Text == "" || rec.Parsed == nil {
+			continue // thin or unparsed records cannot seed the cache
+		}
+		ps.Preload(rec.Text, rec.Parsed)
+		n++
+	}
+	return n, it.Err()
 }
 
 // loadOrTrainParser loads a saved model, or — so /parsed/ works out of

@@ -3,10 +3,17 @@
 // rate-limit inference and source rotation, then writes the raw thick
 // records to a corpus file.
 //
+// With -store the crawl also streams every thick record into a persistent
+// record store as it completes (checkpointed, crash-safe); -resume skips
+// domains already in that store, so an interrupted crawl picks up where
+// its last checkpoint left off instead of starting over. With -model the
+// records are parsed before persisting, so the store is survey-ready.
+//
 // Usage:
 //
 //	whoiscrawl [-dir whois_servers.txt] [-zone zone.txt] [-out records.txt]
 //	           [-workers 16] [-sources 127.0.0.2,127.0.0.3,127.0.0.4]
+//	           [-store storedir] [-resume] [-model parser.model]
 package main
 
 import (
@@ -21,8 +28,11 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/whoisclient"
 	"repro/internal/whoisd"
+
+	whoisparse "repro"
 )
 
 func main() {
@@ -30,10 +40,13 @@ func main() {
 	log.SetPrefix("whoiscrawl: ")
 	dirFile := flag.String("dir", "whois_servers.txt", "directory file written by whoisd")
 	zoneFile := flag.String("zone", "zone.txt", "zone file written by whoisd")
-	outFile := flag.String("out", "records.txt", "output corpus file")
+	outFile := flag.String("out", "records.txt", "output corpus file (empty disables)")
 	workers := flag.Int("workers", 16, "concurrent crawl workers")
 	sources := flag.String("sources", "127.0.0.2,127.0.0.3,127.0.0.4", "comma-separated source IPs")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall crawl deadline")
+	storeDir := flag.String("store", "", "stream crawled records into this persistent store directory")
+	resume := flag.Bool("resume", false, "skip domains already persisted in -store (resume an interrupted crawl)")
+	modelFile := flag.String("model", "", "parse records with this trained model before persisting (requires -store)")
 	verbose := flag.Bool("v", false, "log per-query diagnostics (rate limits, retries)")
 	flag.Parse()
 
@@ -45,6 +58,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *resume && *storeDir == "" {
+		log.Fatal("-resume requires -store")
+	}
+	if *modelFile != "" && *storeDir == "" {
+		log.Fatal("-model requires -store")
+	}
 
 	// The crawl registry accumulates per-host retry/rate-limit/byte
 	// counters alongside the aggregate stats; it is dumped after the run.
@@ -52,6 +71,48 @@ func main() {
 	logger := obs.NewLogger("whoiscrawl", os.Stderr)
 	if !*verbose {
 		logger.SetLevel(obs.LevelError)
+	}
+
+	// Persistent sink: records land in the store as their domains finish,
+	// fsynced on the sink's checkpoint cadence, so a crash loses at most
+	// one checkpoint's worth of crawling.
+	var sink *store.Sink
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+		if *resume {
+			done := make(map[string]bool)
+			if err := st.Domains(func(d string) bool {
+				done[strings.ToLower(d)] = true
+				return true
+			}); err != nil {
+				log.Fatal(err)
+			}
+			kept := domains[:0]
+			for _, d := range domains {
+				if !done[strings.ToLower(d)] {
+					kept = append(kept, d)
+				}
+			}
+			log.Printf("resume: skipping %d already-persisted domains, %d remain", len(domains)-len(kept), len(kept))
+			domains = kept
+		}
+		opts := store.SinkOptions{}
+		if *modelFile != "" {
+			p, err := whoisparse.Load(*modelFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Parse = p.Parse
+		}
+		sink = store.NewSink(st, opts)
 	}
 
 	c, err := crawler.New(crawler.Config{
@@ -62,6 +123,14 @@ func main() {
 		MaxInterval:     600 * time.Millisecond,
 		Log:             logger,
 		Metrics:         reg,
+		OnResult: func(r crawler.Result) {
+			if sink == nil || r.Thick == "" {
+				return
+			}
+			if err := sink.Put(r.Domain, thinRegistrar(r.Thin), r.Thick); err != nil {
+				log.Printf("store put %s: %v", r.Domain, err)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,27 +141,36 @@ func main() {
 	log.Printf("crawling %d domains with %d workers", len(domains), *workers)
 	results, stats := c.Crawl(ctx, domains)
 
-	f, err := os.Create(*outFile)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w := bufio.NewWriter(f)
-	written := 0
-	for _, r := range results {
-		if r.Thick == "" {
-			continue
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			log.Fatal(err)
 		}
-		// The thin record's registrar is carried along: legacy thick
-		// formats omit it, and the survey needs it (§2.2).
-		fmt.Fprintf(w, "%%%% DOMAIN %s SERVER %s REGISTRAR %s\n%s\n%%%% END\n",
-			r.Domain, r.WhoisServer, thinRegistrar(r.Thin), r.Thick)
-		written++
+		log.Printf("persisted %d records to %s", sink.Written(), *storeDir)
 	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
+
+	written := 0
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, r := range results {
+			if r.Thick == "" {
+				continue
+			}
+			// The thin record's registrar is carried along: legacy thick
+			// formats omit it, and the survey needs it (§2.2).
+			fmt.Fprintf(w, "%%%% DOMAIN %s SERVER %s REGISTRAR %s\n%s\n%%%% END\n",
+				r.Domain, r.WhoisServer, thinRegistrar(r.Thin), r.Thick)
+			written++
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	log.Printf("thick records: %d/%d (coverage %.1f%%), failures %.1f%%, rate-limit hits %d, elapsed %v",
@@ -103,7 +181,9 @@ func main() {
 			log.Printf("inferred limit at %s: %.1f q/s", s, c.InferredRate(s))
 		}
 	}
-	log.Printf("wrote %d records to %s", written, *outFile)
+	if *outFile != "" {
+		log.Printf("wrote %d records to %s", written, *outFile)
+	}
 	log.Printf("final stats:")
 	if err := reg.WriteJSON(os.Stderr); err != nil {
 		log.Printf("stats dump failed: %v", err)

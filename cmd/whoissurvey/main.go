@@ -2,13 +2,18 @@
 // model and prints the §6 survey tables (registrant countries, registrars,
 // privacy protection, and per-year trends).
 //
-// Input is either a crawl output file from whoiscrawl (-in records.txt) or
-// a freshly generated synthetic corpus (-synthetic N).
+// Input is a crawl output file from whoiscrawl (-in records.txt), a freshly
+// generated synthetic corpus (-synthetic N), or a persisted record store
+// directory written by whoiscrawl -store / a previous -store-out run
+// (-store dir). The store path streams: facts fold into the survey
+// aggregates one record at a time, so surveying a 102M-record store never
+// materializes the corpus in memory.
 //
 // Usage:
 //
 //	whoissurvey -model parser.model -in records.txt [-dbl dbl.txt]
-//	whoissurvey -model parser.model -synthetic 30000
+//	whoissurvey -model parser.model -synthetic 30000 [-store-out dir]
+//	whoissurvey -store dir
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/survey"
 	"repro/internal/synth"
 
@@ -39,21 +46,16 @@ func main() {
 	synthetic := flag.Int("synthetic", 0, "generate and survey N synthetic records instead of -in")
 	seed := flag.Int64("seed", 2, "seed for -synthetic")
 	workers := flag.Int("workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "stream the survey from this record store directory (no parsing; -model unused)")
+	storeOut := flag.String("store-out", "", "also persist every parsed record into this store directory")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address while the survey runs (empty disables)")
 	flag.Parse()
 
-	p, err := whoisparse.Load(*model)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// One registry for the whole run: CRF decode latency, parse-serving
-	// cache behaviour, and batch progress all land here. -metrics-addr
-	// exports it live (useful on long crawls); the final snapshot is
-	// dumped to stderr either way.
+	// cache behaviour, store appends, and batch progress all land here.
+	// -metrics-addr exports it live (useful on long crawls); the final
+	// snapshot is dumped to stderr either way.
 	reg := obs.NewRegistry()
-	p.Instrument(reg)
-
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -64,13 +66,6 @@ func main() {
 		defer msrv.Close()
 		log.Printf("metrics at http://%s/", ml.Addr())
 	}
-
-	// The shared parse-serving layer is the batch driver: blocking
-	// admission gives backpressure against the bounded worker pool, and
-	// the cache/coalescing path deduplicates repeated record texts
-	// (registrars reuse templates, so real crawls repeat themselves).
-	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15, Metrics: reg})
-	defer ps.Close()
 	defer func() {
 		log.Printf("final stats:")
 		if err := reg.WriteJSON(os.Stderr); err != nil {
@@ -78,12 +73,60 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}()
+
+	s := survey.New(nil)
+	showBlacklist := false
+
+	if *storeDir != "" {
+		n, err := surveyFromStore(*storeDir, s, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("surveyed %d records streamed from %s", n, *storeDir)
+		showBlacklist = true // the store carries the DBL bit per record
+		renderSurvey(os.Stdout, s, showBlacklist)
+		return
+	}
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Instrument(reg)
+
+	// The shared parse-serving layer is the batch driver: blocking
+	// admission gives backpressure against the bounded worker pool, and
+	// the cache/coalescing path deduplicates repeated record texts
+	// (registrars reuse templates, so real crawls repeat themselves).
+	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15, Metrics: reg})
+	defer ps.Close()
 	parseAll := func(texts []string) []*whoisparse.ParsedRecord {
 		out, err := ps.ParseBatch(context.Background(), texts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return out
+	}
+
+	var sink *store.Store
+	if *storeOut != "" {
+		sink, err = store.Open(*storeOut, store.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+	}
+	persist := func(domain, text string, pr *whoisparse.ParsedRecord, f survey.Facts) {
+		if sink == nil {
+			return
+		}
+		if err := sink.Append(&store.Record{Domain: domain, Text: text, Parsed: pr, Facts: f}); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	dbl := make(map[string]bool)
@@ -93,7 +136,6 @@ func main() {
 		}
 	}
 
-	var facts []survey.Facts
 	switch {
 	case *synthetic > 0:
 		domains := synth.Generate(synth.Config{N: *synthetic, Seed: *seed, BrandFraction: 0.02})
@@ -102,8 +144,14 @@ func main() {
 			texts[i] = d.Render().Text
 		}
 		for i, pr := range parseAll(texts) {
-			facts = append(facts, survey.FactsFrom(pr, domains[i].Blacklisted))
+			f := survey.FactsFrom(pr, domains[i].Blacklisted)
+			if f.Domain == "" {
+				f.Domain = domains[i].Reg.Domain
+			}
+			s.Add(f)
+			persist(f.Domain, texts[i], pr, f)
 		}
+		showBlacklist = true
 	case *in != "":
 		records, err := readRecords(*in)
 		if err != nil {
@@ -122,31 +170,59 @@ func main() {
 			if f.Registrar == "" {
 				f.Registrar = registrars[i] // thin-record fallback
 			}
-			facts = append(facts, f)
+			if f.Domain == "" {
+				f.Domain = names[i]
+			}
+			s.Add(f)
+			persist(names[i], texts[i], pr, f)
 		}
+		showBlacklist = len(dbl) > 0
 	default:
-		log.Fatal("need -in records.txt or -synthetic N")
+		log.Fatal("need -in records.txt, -synthetic N, or -store dir")
 	}
 
-	s := survey.New(facts)
 	log.Printf("surveying %d parsed records", s.Len())
 	log.Printf("parse serving: %s", ps.Stats())
+	renderSurvey(os.Stdout, s, showBlacklist)
+}
 
-	t3all, t3new := s.Table3()
-	fmt.Println(survey.RenderRows("Table 3 (left) — registrant countries, all time", t3all))
-	fmt.Println(survey.RenderRows("Table 3 (right) — registrant countries, created 2014", t3new))
-	t5all, t5new := s.Table5()
-	fmt.Println(survey.RenderRows("Table 5 (left) — registrars, all time", t5all))
-	fmt.Println(survey.RenderRows("Table 5 (right) — registrars, created 2014", t5new))
-	fmt.Println(survey.RenderRows("Table 6 — registrars of privacy-protected domains", s.Table6()))
-	fmt.Println(survey.RenderRows("Table 7 — privacy protection services", s.Table7()))
-	if len(dbl) > 0 || *synthetic > 0 {
-		fmt.Println(survey.RenderRows("Table 8 — registrant countries of blacklisted 2014 domains", s.Table8()))
-		fmt.Println(survey.RenderRows("Table 9 — registrars of blacklisted 2014 domains", s.Table9()))
+// surveyFromStore streams every record of a store directory into the
+// survey aggregates, holding one record in memory at a time.
+func surveyFromStore(dir string, s *survey.Survey, reg *obs.Registry) (uint64, error) {
+	st, err := store.Open(dir, store.Options{Metrics: reg})
+	if err != nil {
+		return 0, err
 	}
-	fmt.Println(survey.RenderHistogram("Figure 4a — domains created per year", s.Figure4a()))
-	fmt.Println(survey.RenderMixes("Figure 4b — proportions by creation year", s.Figure4b(1995), survey.Figure4bLabels()))
-	fmt.Println(survey.RenderRegistrarMixes("Figure 5 — top registrant countries for selected registrars",
+	defer st.Close()
+	it := st.Iter()
+	defer it.Close()
+	var n uint64
+	for it.Next() {
+		s.Add(it.Record().Facts)
+		n++
+	}
+	return n, it.Err()
+}
+
+// renderSurvey prints the full table/figure set. Output is a pure
+// function of the survey aggregates, so a store-streamed survey and an
+// in-memory one over the same facts render byte-identically.
+func renderSurvey(w io.Writer, s *survey.Survey, showBlacklist bool) {
+	t3all, t3new := s.Table3()
+	fmt.Fprintln(w, survey.RenderRows("Table 3 (left) — registrant countries, all time", t3all))
+	fmt.Fprintln(w, survey.RenderRows("Table 3 (right) — registrant countries, created 2014", t3new))
+	t5all, t5new := s.Table5()
+	fmt.Fprintln(w, survey.RenderRows("Table 5 (left) — registrars, all time", t5all))
+	fmt.Fprintln(w, survey.RenderRows("Table 5 (right) — registrars, created 2014", t5new))
+	fmt.Fprintln(w, survey.RenderRows("Table 6 — registrars of privacy-protected domains", s.Table6()))
+	fmt.Fprintln(w, survey.RenderRows("Table 7 — privacy protection services", s.Table7()))
+	if showBlacklist {
+		fmt.Fprintln(w, survey.RenderRows("Table 8 — registrant countries of blacklisted 2014 domains", s.Table8()))
+		fmt.Fprintln(w, survey.RenderRows("Table 9 — registrars of blacklisted 2014 domains", s.Table9()))
+	}
+	fmt.Fprintln(w, survey.RenderHistogram("Figure 4a — domains created per year", s.Figure4a()))
+	fmt.Fprintln(w, survey.RenderMixes("Figure 4b — proportions by creation year", s.Figure4b(1995), survey.Figure4bLabels()))
+	fmt.Fprintln(w, survey.RenderRegistrarMixes("Figure 5 — top registrant countries for selected registrars",
 		s.Figure5([]string{"eNom", "HiChina", "GMO", "Melbourne"})))
 }
 

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/store"
+	"repro/internal/survey"
 )
 
 func TestReadRecords(t *testing.T) {
@@ -52,5 +57,82 @@ func TestReadRecordsLegacyHeaderWithoutRegistrar(t *testing.T) {
 	}
 	if recs["c.com"].registrar != "" {
 		t.Errorf("registrar %q, want empty", recs["c.com"].registrar)
+	}
+}
+
+// syntheticFacts builds a deterministic facts corpus covering every
+// aggregate: countries (incl. unknown), 2014 cohorts, privacy services,
+// blacklisted domains, brand orgs, and the Figure 5 registrars.
+func syntheticFacts(n int) []survey.Facts {
+	countries := []string{"United States", "China", "United Kingdom", "Germany", "France", "Japan", ""}
+	registrars := []string{"GoDaddy.com, LLC", "eNom, Inc.", "HiChina Zhicheng", "GMO Internet", "Melbourne IT", "Tucows"}
+	orgs := []string{"Google Inc.", "HugeDomains.com", "", "Microsoft Corporation", "Sedo GmbH"}
+	svcs := []string{"WhoisGuard", "Domains By Proxy", "Whois Privacy Protection"}
+	out := make([]survey.Facts, 0, n)
+	for i := 0; i < n; i++ {
+		f := survey.Facts{
+			Domain:      fmt.Sprintf("domain%05d.com", i),
+			Registrar:   registrars[i%len(registrars)],
+			Country:     countries[i%len(countries)],
+			CreatedYear: 1996 + i%20,
+			Org:         orgs[i%len(orgs)],
+			Blacklisted: i%13 == 0,
+		}
+		if i%7 == 3 {
+			f.Privacy = true
+			f.PrivacySvc = svcs[i%len(svcs)]
+		}
+		if i%19 == 0 {
+			f.CreatedYear = 0 // unparseable date
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestStoreSurveyMatchesInMemory is the acceptance check for the
+// persistence layer: the survey rendered by streaming a store directory
+// must be byte-identical to the survey computed directly over the same
+// facts in memory.
+func TestStoreSurveyMatchesInMemory(t *testing.T) {
+	facts := syntheticFacts(3000)
+
+	// In-memory path.
+	direct := survey.New(facts)
+	var wantBuf bytes.Buffer
+	renderSurvey(&wantBuf, direct, true)
+
+	// Store round-trip path: persist, reopen, stream.
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SegmentBytes: 16 << 10}) // force multi-segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range facts {
+		if err := st.Append(&store.Record{Domain: facts[i].Domain, Facts: facts[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := survey.New(nil)
+	n, err := surveyFromStore(dir, streamed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(facts)) {
+		t.Fatalf("streamed %d records, want %d", n, len(facts))
+	}
+	var gotBuf bytes.Buffer
+	renderSurvey(&gotBuf, streamed, true)
+
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatalf("store-streamed survey differs from in-memory survey:\n--- in-memory ---\n%s\n--- streamed ---\n%s",
+			wantBuf.String(), gotBuf.String())
+	}
+	if wantBuf.Len() == 0 {
+		t.Fatal("rendered survey is empty")
 	}
 }

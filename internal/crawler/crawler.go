@@ -42,6 +42,12 @@ type Config struct {
 	MaxInterval time.Duration
 	// Timeout bounds each query (default 10s).
 	Timeout time.Duration
+	// OnResult, when non-nil, receives every finished Result as soon as
+	// its domain completes — the streaming sink hook (cmd/whoiscrawl
+	// feeds a store.Sink here so an interrupted crawl keeps everything
+	// crawled up to its last checkpoint). Called from worker goroutines;
+	// must be safe for concurrent use.
+	OnResult func(Result)
 	// Log receives structured diagnostics; nil drops them.
 	Log *obs.Logger
 	// Metrics is the registry crawl counters and stage timings are
@@ -306,6 +312,9 @@ func (c *Crawler) Crawl(ctx context.Context, domains []string) ([]Result, Stats)
 			defer wg.Done()
 			for i := range jobs {
 				results[i] = c.crawlOne(ctx, domains[i], w, &stats)
+				if c.cfg.OnResult != nil {
+					c.cfg.OnResult(results[i])
+				}
 			}
 		}(w)
 	}

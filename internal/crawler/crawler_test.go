@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -209,5 +210,42 @@ func TestPacingPersistsAcrossCrawls(t *testing.T) {
 	}
 	if second.Coverage() < 0.95 {
 		t.Errorf("second crawl coverage %.3f", second.Coverage())
+	}
+}
+
+func TestOnResultStreamsEveryDomain(t *testing.T) {
+	cluster, domains := startEcosystem(t, 25, 0, 0)
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	c, err := New(Config{
+		Resolver: cluster.Directory,
+		Workers:  6,
+		OnResult: func(r Result) {
+			if r.Err != nil || r.Thick == "" {
+				t.Errorf("OnResult got a failed crawl for %s: %v", r.Domain, r.Err)
+			}
+			mu.Lock()
+			seen[r.Domain]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, stats := c.Crawl(ctx, names(domains))
+	if stats.ThickOK != int64(len(domains)) {
+		t.Fatalf("thick %d/%d", stats.ThickOK, len(domains))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(domains) {
+		t.Fatalf("OnResult saw %d distinct domains, want %d", len(seen), len(domains))
+	}
+	for d, n := range seen {
+		if n != 1 {
+			t.Errorf("OnResult called %d times for %s, want 1", n, d)
+		}
 	}
 }

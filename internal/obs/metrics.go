@@ -79,6 +79,17 @@ func UnitBounds() []float64 {
 	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
 }
 
+// SizeBounds is the default bucket layout for byte-size histograms
+// (record frames, artifact payloads): powers of four from 64 B to 1 GiB,
+// so a 200-byte thin record and a 16 MiB pathological frame land far
+// apart.
+func SizeBounds() []float64 {
+	return []float64{
+		64, 256, 1024, 4096, 16384, 65536,
+		1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30,
+	}
+}
+
 // NewHistogram builds a histogram over the given ascending upper bounds;
 // nil or empty bounds default to DurationBounds.
 func NewHistogram(bounds []float64) *Histogram {

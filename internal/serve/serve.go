@@ -244,6 +244,25 @@ func (s *Server) ParseBatch(ctx context.Context, texts []string) ([]*core.Parsed
 	return out, nil
 }
 
+// Preload inserts an already-parsed record into the cache without a
+// parse or a queue trip — the warm-start path: at daemon boot the newest
+// store segment is replayed through Preload so the first requests after a
+// restart hit a cache that looks like the one the previous process died
+// with. Keys are computed exactly as Parse computes them, so a later
+// request for the same raw text is a hit. Preloading with a nil record or
+// onto a cache-disabled server is a no-op. Safe for concurrent use.
+func (s *Server) Preload(text string, rec *core.ParsedRecord) {
+	if rec == nil || s.opts.CacheCapacity < 0 {
+		return
+	}
+	k := s.hashKey(text)
+	sh := &s.shards[int(k.h1)&(len(s.shards)-1)]
+	sh.mu.Lock()
+	sh.add(k, rec)
+	sh.mu.Unlock()
+	s.m.preloads.Inc()
+}
+
 // admit resolves a request to either a cached record, a call to wait on,
 // or an admission error. Exactly one of the three is non-zero.
 func (s *Server) admit(ctx context.Context, text string, wait bool) (*call, *core.ParsedRecord, error) {
@@ -359,6 +378,7 @@ func (s *Server) Stats() Stats {
 		Coalesced:    s.m.coalesced.Value(),
 		Shed:         s.m.shed.Value(),
 		Parsed:       s.m.parsed.Value(),
+		Preloads:     s.m.preloads.Value(),
 		InFlight:     int(s.m.inFlight.Value()),
 		Queued:       len(s.queue),
 		CacheEntries: s.cacheEntries(),

@@ -465,3 +465,45 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Errorf("cache over capacity: %d > 16", st.CacheEntries)
 	}
 }
+
+func TestPreloadWarmStart(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 2})
+	defer s.Close()
+
+	warm := &core.ParsedRecord{DomainName: "warm.com"}
+	s.Preload("warm record text", warm)
+	s.Preload("nil is a no-op", nil)
+
+	got, err := s.Parse(context.Background(), "warm record text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != warm {
+		t.Error("preloaded record not served from cache")
+	}
+	if n := calls("warm record text"); n != 0 {
+		t.Errorf("parse ran %d times for a preloaded text, want 0", n)
+	}
+	st := s.Stats()
+	if st.Preloads != 1 {
+		t.Errorf("Preloads = %d, want 1 (nil preload must not count)", st.Preloads)
+	}
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", st.Hits)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap["serve.cache.preloads"].(uint64); got != 1 {
+		t.Errorf("serve.cache.preloads = %v, want 1", got)
+	}
+}
+
+func TestPreloadDisabledCacheNoop(t *testing.T) {
+	fn, _ := countingParse()
+	s := NewFunc(fn, Options{Workers: 1, CacheCapacity: -1})
+	defer s.Close()
+	s.Preload("text", &core.ParsedRecord{DomainName: "x"})
+	if st := s.Stats(); st.Preloads != 0 || st.CacheEntries != 0 {
+		t.Errorf("disabled cache accepted a preload: %+v", st)
+	}
+}

@@ -19,6 +19,7 @@ type metrics struct {
 	coalesced *obs.Counter
 	shed      *obs.Counter
 	parsed    *obs.Counter
+	preloads  *obs.Counter
 	inFlight  *obs.Gauge
 	latency   *obs.Histogram
 }
@@ -31,6 +32,7 @@ func (m *metrics) register(reg *obs.Registry) {
 	m.coalesced = reg.Counter("serve.coalesced")
 	m.shed = reg.Counter("serve.shed")
 	m.parsed = reg.Counter("serve.parsed")
+	m.preloads = reg.Counter("serve.cache.preloads")
 	m.inFlight = reg.Gauge("serve.inflight")
 	m.latency = reg.Histogram("serve.parse.seconds", obs.DurationBounds())
 }
@@ -42,6 +44,8 @@ type Stats struct {
 	// an identical in-flight parse; Shed requests rejected with
 	// ErrOverloaded; Parsed parses actually executed.
 	Hits, Misses, Coalesced, Shed, Parsed uint64
+	// Preloads counts records injected by Preload (store warm-start).
+	Preloads uint64
 	// InFlight is the number of admitted-but-unfinished parses, Queued
 	// how many of those are still waiting for a worker.
 	InFlight, Queued int

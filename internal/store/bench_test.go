@@ -1,0 +1,56 @@
+package store
+
+import (
+	"testing"
+)
+
+// BenchmarkStoreAppend measures the full append path — encode, frame,
+// CRC, buffered write, index maintenance — without fsync (the sink's
+// checkpoint cadence owns durability).
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	recs := make([]*Record, 64)
+	for i := range recs {
+		recs[i] = testRecord(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreScan measures per-record streaming read cost: frame
+// scan, CRC verify, and full record decode over a pre-built store.
+func BenchmarkStoreScan(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	read := 0
+	for read < b.N {
+		it := st.Iter()
+		for it.Next() && read < b.N {
+			read++
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		it.Close()
+	}
+}

@@ -1,0 +1,367 @@
+// Package store is the persistence layer under the crawl → parse →
+// survey pipeline: an append-only, segmented record log holding parsed
+// WHOIS records and their derived survey facts, plus a versioned artifact
+// format for trained CRF models. The paper's §6 survey covers 102M .com
+// registrations; at that scale neither the parsed corpus nor the trained
+// parser can live only in process memory, and "WHOIS Right?" shows these
+// corpora get re-collected and re-compared over time — so both must
+// survive restarts, crashes, and partial crawls.
+//
+// On-disk layout (see DESIGN.md §5d for the full diagram):
+//
+//	dir/
+//	  00000001.seg        sealed segment
+//	  00000002.seg        sealed segment
+//	  00000003.seg        active segment (append target)
+//
+// Every segment starts with an 8-byte header (magic "WSG1", one format
+// version byte, three reserved zero bytes) followed by frames:
+//
+//	frame := uvarint(len(payload)) | payload | crc32c(payload) LE32
+//
+// The CRC is Castagnoli (CRC32C). A frame whose length varint is torn,
+// whose payload is short, or whose CRC mismatches marks the end of the
+// recoverable region: Open truncates a torn tail on the newest segment
+// (a crash mid-append) and refuses corruption anywhere else.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/survey"
+	"repro/internal/tokenize"
+)
+
+// Segment header.
+var segMagic = [4]byte{'W', 'S', 'G', '1'}
+
+const (
+	segVersion   = 1
+	segHeaderLen = 8
+
+	// maxFramePayload bounds a single record frame. The decoder refuses
+	// larger length prefixes before allocating, so a corrupt varint can
+	// never cause a multi-gigabyte allocation.
+	maxFramePayload = 16 << 20
+
+	// frameCRCLen is the trailing checksum size.
+	frameCRCLen = 4
+)
+
+// castagnoli is the CRC32C table shared by frames and model artifacts.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrTornFrame specifically means "the bytes end mid-frame"
+// — recoverable when it is the tail of the newest segment, fatal anywhere
+// else.
+var (
+	ErrTornFrame   = errors.New("store: torn frame")
+	ErrBadChecksum = errors.New("store: frame checksum mismatch")
+	ErrFrameTooBig = errors.New("store: frame exceeds size limit")
+	ErrBadRecord   = errors.New("store: malformed record payload")
+)
+
+// Record is one persisted entry: a domain's parsed WHOIS record plus the
+// survey facts derived from it. Text optionally carries the raw record
+// (the serve warm-start path needs the exact query text to compute cache
+// keys); Parsed is optional for thin-only crawls. Facts.Domain always
+// mirrors Domain after decoding.
+type Record struct {
+	Domain string
+	Text   string
+	Parsed *core.ParsedRecord
+	Facts  survey.Facts
+}
+
+// Payload flag bits.
+const (
+	flagPrivacy     = 1 << 0
+	flagBlacklisted = 1 << 1
+	flagHasParsed   = 1 << 2
+	flagHasText     = 1 << 3
+)
+
+// recordKind tags the payload type, leaving room for future frame kinds
+// (checkpoints, tombstones) without a format-version bump.
+const recordKind = 1
+
+// appendUvarint, appendString: little encoding helpers over a shared buf.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendRecord encodes rec into buf (reusing its capacity) and returns
+// the payload. The layout is positional — see decodeRecord, its exact
+// mirror.
+func appendRecord(buf []byte, rec *Record) []byte {
+	buf = append(buf, recordKind)
+	var flags byte
+	if rec.Facts.Privacy {
+		flags |= flagPrivacy
+	}
+	if rec.Facts.Blacklisted {
+		flags |= flagBlacklisted
+	}
+	if rec.Parsed != nil {
+		flags |= flagHasParsed
+	}
+	if rec.Text != "" {
+		flags |= flagHasText
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, rec.Domain)
+	buf = appendString(buf, rec.Facts.Registrar)
+	buf = appendString(buf, rec.Facts.Country)
+	buf = binary.AppendUvarint(buf, uint64(rec.Facts.CreatedYear))
+	buf = appendString(buf, rec.Facts.PrivacySvc)
+	buf = appendString(buf, rec.Facts.Org)
+	if rec.Text != "" {
+		buf = appendString(buf, rec.Text)
+	}
+	if pr := rec.Parsed; pr != nil {
+		buf = appendString(buf, pr.Registrar)
+		buf = appendString(buf, pr.RegistrarURL)
+		buf = appendString(buf, pr.DomainName)
+		buf = appendString(buf, pr.WhoisServer)
+		buf = appendString(buf, pr.CreatedDate)
+		buf = appendString(buf, pr.UpdatedDate)
+		buf = appendString(buf, pr.ExpiresDate)
+		buf = appendContact(buf, &pr.Registrant)
+		buf = binary.AppendUvarint(buf, uint64(len(pr.Lines)))
+		for i := range pr.Lines {
+			buf = appendString(buf, pr.Lines[i].Raw)
+			buf = append(buf, byte(pr.Blocks[i]), byte(pr.Fields[i]))
+		}
+	}
+	return buf
+}
+
+func appendContact(buf []byte, c *core.Contact) []byte {
+	buf = appendString(buf, c.Name)
+	buf = appendString(buf, c.ID)
+	buf = appendString(buf, c.Org)
+	buf = appendString(buf, c.Street)
+	buf = appendString(buf, c.City)
+	buf = appendString(buf, c.State)
+	buf = appendString(buf, c.Postcode)
+	buf = appendString(buf, c.Country)
+	buf = appendString(buf, c.Phone)
+	buf = appendString(buf, c.Fax)
+	buf = appendString(buf, c.Email)
+	return buf
+}
+
+// reader is a bounds-checked cursor over a payload. Every read method
+// reports failure instead of panicking or reading past the slice — the
+// decoder's fuzz target leans on this.
+type reader struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (r *reader) fail() { r.bad = true }
+
+func (r *reader) byte() byte {
+	if r.bad || r.pos >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.bad {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// decodeRecord parses one payload produced by appendRecord. It never
+// panics or over-reads: every length is validated against the remaining
+// bytes before use.
+func decodeRecord(payload []byte) (*Record, error) {
+	r := &reader{b: payload}
+	if kind := r.byte(); r.bad || kind != recordKind {
+		return nil, fmt.Errorf("%w: unknown kind", ErrBadRecord)
+	}
+	flags := r.byte()
+	rec := &Record{}
+	rec.Domain = r.str()
+	rec.Facts.Registrar = r.str()
+	rec.Facts.Country = r.str()
+	year := r.uvarint()
+	rec.Facts.PrivacySvc = r.str()
+	rec.Facts.Org = r.str()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated facts", ErrBadRecord)
+	}
+	if year > 9999 {
+		return nil, fmt.Errorf("%w: implausible year %d", ErrBadRecord, year)
+	}
+	rec.Facts.Domain = rec.Domain
+	rec.Facts.CreatedYear = int(year)
+	rec.Facts.Privacy = flags&flagPrivacy != 0
+	rec.Facts.Blacklisted = flags&flagBlacklisted != 0
+	if flags&flagHasText != 0 {
+		rec.Text = r.str()
+	}
+	if flags&flagHasParsed != 0 {
+		pr := &core.ParsedRecord{}
+		pr.Registrar = r.str()
+		pr.RegistrarURL = r.str()
+		pr.DomainName = r.str()
+		pr.WhoisServer = r.str()
+		pr.CreatedDate = r.str()
+		pr.UpdatedDate = r.str()
+		pr.ExpiresDate = r.str()
+		decodeContact(r, &pr.Registrant)
+		nLines := r.uvarint()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated parsed record", ErrBadRecord)
+		}
+		// Each line costs at least 3 bytes (empty-string varint + two
+		// label bytes), so a count beyond remaining/3 is corrupt — reject
+		// before allocating.
+		if nLines > uint64(len(payload)-r.pos)/3 {
+			return nil, fmt.Errorf("%w: line count %d exceeds payload", ErrBadRecord, nLines)
+		}
+		pr.Lines = make([]tokenize.Line, nLines)
+		pr.Blocks = make([]labels.Block, nLines)
+		pr.Fields = make([]labels.Field, nLines)
+		for i := range pr.Lines {
+			pr.Lines[i].Raw = r.str()
+			b, fd := r.byte(), r.byte()
+			if r.bad {
+				return nil, fmt.Errorf("%w: truncated line %d", ErrBadRecord, i)
+			}
+			if int(b) >= labels.NumBlocks || int(fd) >= labels.NumFields {
+				return nil, fmt.Errorf("%w: label out of range at line %d", ErrBadRecord, i)
+			}
+			pr.Blocks[i] = labels.Block(b)
+			pr.Fields[i] = labels.Field(fd)
+		}
+		rec.Parsed = pr
+	}
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated payload", ErrBadRecord)
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(payload)-r.pos)
+	}
+	return rec, nil
+}
+
+func decodeContact(r *reader, c *core.Contact) {
+	c.Name = r.str()
+	c.ID = r.str()
+	c.Org = r.str()
+	c.Street = r.str()
+	c.City = r.str()
+	c.State = r.str()
+	c.Postcode = r.str()
+	c.Country = r.str()
+	c.Phone = r.str()
+	c.Fax = r.str()
+	c.Email = r.str()
+}
+
+// appendFrame wraps payload in the frame envelope: length varint, bytes,
+// CRC32C.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+// frameScanner streams frames off a reader with a single reusable
+// payload buffer, so iterating a multi-gigabyte segment holds one frame
+// in memory at a time. It tracks byte offsets for the sparse index and
+// for recovery truncation.
+type frameScanner struct {
+	r   *bufio.Reader
+	off int64  // offset of the next unread byte
+	buf []byte // reusable payload buffer
+}
+
+func newFrameScanner(r io.Reader, start int64) *frameScanner {
+	return &frameScanner{r: bufio.NewReaderSize(r, 1<<16), off: start}
+}
+
+// next returns the next frame's payload and its start offset. A clean
+// end of input returns io.EOF; input that ends mid-frame returns
+// ErrTornFrame; an intact frame failing its checksum returns
+// ErrBadChecksum. The payload is only valid until the following call.
+func (fs *frameScanner) next() (payload []byte, start int64, err error) {
+	start = fs.off
+	// Length varint, byte by byte. A valid length fits 4 bytes
+	// (maxFramePayload < 2^28); anything longer is corruption, but at the
+	// tail of a segment it is indistinguishable from a torn write, so it
+	// reports ErrTornFrame and the caller decides.
+	var n uint64
+	for shift := uint(0); ; shift += 7 {
+		c, rerr := fs.r.ReadByte()
+		if rerr != nil {
+			if shift == 0 && rerr == io.EOF {
+				return nil, start, io.EOF
+			}
+			return nil, start, ErrTornFrame
+		}
+		fs.off++
+		n |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			break
+		}
+		if shift >= 28 {
+			return nil, start, ErrTornFrame
+		}
+	}
+	if n > maxFramePayload {
+		return nil, start, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	need := int(n) + frameCRCLen
+	if cap(fs.buf) < need {
+		fs.buf = make([]byte, need)
+	}
+	b := fs.buf[:need]
+	if _, rerr := io.ReadFull(fs.r, b); rerr != nil {
+		return nil, start, ErrTornFrame
+	}
+	fs.off += int64(need)
+	payload = b[:n]
+	want := binary.LittleEndian.Uint32(b[n:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, start, ErrBadChecksum
+	}
+	return payload, start, nil
+}

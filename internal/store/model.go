@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Model artifact container. A trained parser is the expensive output of
+// the whole labeling + optimization pipeline; persisting it behind a
+// magic header, an explicit format version, the feature-space dimensions
+// of both CRF levels, and a CRC turns "the file loaded" into "the file
+// is the model you trained". The payload is the parser's own
+// serialization (core.Parser.WriteTo).
+//
+//	offset  size  field
+//	0       4     magic "WMDL"
+//	4       2     format version (LE)
+//	6       8     first-level feature count (LE)
+//	14      8     second-level feature count (LE; 0 = no field model)
+//	22      4     CRC32C of payload (LE)
+//	26      8     payload length (LE)
+//	34      n     payload (gob, core.Parser.WriteTo)
+var modelMagic = [4]byte{'W', 'M', 'D', 'L'}
+
+const (
+	modelVersion   = 1
+	modelHeaderLen = 34
+)
+
+// Model artifact errors, distinguishable so callers can report "not a
+// model file" vs "damaged model file" vs "model from a different
+// format era".
+var (
+	ErrNotModel        = errors.New("store: not a model artifact")
+	ErrModelVersion    = errors.New("store: unsupported model artifact version")
+	ErrModelChecksum   = errors.New("store: model artifact checksum mismatch")
+	ErrModelDimensions = errors.New("store: model feature dimensions disagree with header")
+)
+
+// SaveModel writes the trained parser to path in the versioned artifact
+// format, via a temp file + rename so a crash never leaves a torn model
+// where a good one stood.
+func SaveModel(p *core.Parser, path string) error {
+	var payload bytes.Buffer
+	if _, err := p.WriteTo(&payload); err != nil {
+		return fmt.Errorf("store: save model: %w", err)
+	}
+	var blockDim, fieldDim uint64
+	blockDim = uint64(p.BlockModel().NumFeatures())
+	if p.FieldModel() != nil {
+		fieldDim = uint64(p.FieldModel().NumFeatures())
+	}
+
+	hdr := make([]byte, modelHeaderLen)
+	copy(hdr, modelMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], modelVersion)
+	binary.LittleEndian.PutUint64(hdr[6:], blockDim)
+	binary.LittleEndian.PutUint64(hdr[14:], fieldDim)
+	binary.LittleEndian.PutUint32(hdr[22:], crc32.Checksum(payload.Bytes(), castagnoli))
+	binary.LittleEndian.PutUint64(hdr[26:], uint64(payload.Len()))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: save model: %w", err)
+	}
+	if _, err := f.Write(hdr); err == nil {
+		_, err = f.Write(payload.Bytes())
+		if err == nil {
+			err = f.Sync()
+		}
+	} else {
+		err = fmt.Errorf("write header: %w", err)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save model: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model artifact written by SaveModel, verifying the
+// magic, version, checksum, and that the decoded CRF feature spaces
+// match the dimensions recorded at save time. The returned parser is
+// ready to Parse or to warm-start a Retrain.
+func LoadModel(path string) (*core.Parser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load model: %w", err)
+	}
+	defer f.Close()
+	return ReadModel(f)
+}
+
+// ReadModel is LoadModel over a stream.
+func ReadModel(r io.Reader) (*core.Parser, error) {
+	hdr := make([]byte, modelHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrNotModel)
+	}
+	if [4]byte(hdr[:4]) != modelMagic {
+		return nil, ErrNotModel
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != modelVersion {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrModelVersion, v, modelVersion)
+	}
+	blockDim := binary.LittleEndian.Uint64(hdr[6:])
+	fieldDim := binary.LittleEndian.Uint64(hdr[14:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[22:])
+	payloadLen := binary.LittleEndian.Uint64(hdr[26:])
+	const maxModelBytes = 1 << 31
+	if payloadLen > maxModelBytes {
+		return nil, fmt.Errorf("%w: payload length %d", ErrNotModel, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload", ErrModelChecksum)
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return nil, ErrModelChecksum
+	}
+	p, err := core.Read(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("store: load model: %w", err)
+	}
+	if got := uint64(p.BlockModel().NumFeatures()); got != blockDim {
+		return nil, fmt.Errorf("%w: first level %d vs %d", ErrModelDimensions, got, blockDim)
+	}
+	var gotField uint64
+	if p.FieldModel() != nil {
+		gotField = uint64(p.FieldModel().NumFeatures())
+	}
+	if gotField != fieldDim {
+		return nil, fmt.Errorf("%w: second level %d vs %d", ErrModelDimensions, gotField, fieldDim)
+	}
+	return p, nil
+}
+
+// IsModelArtifact sniffs whether path starts with the versioned-artifact
+// magic — the compatibility shim that lets whoisparse.Load fall back to
+// the legacy bare-gob format for models saved before this container
+// existed.
+func IsModelArtifact(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false
+	}
+	return m == modelMagic
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// trainedParser trains once per test binary on a small synthetic corpus.
+var trainedParser *core.Parser
+
+func getParser(t testing.TB) *core.Parser {
+	t.Helper()
+	if trainedParser == nil {
+		recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: 42})
+		p, _, err := core.Train(recs, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainedParser = p
+	}
+	return trainedParser
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	p := getParser(t)
+	path := filepath.Join(t.TempDir(), "parser.model")
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	if !IsModelArtifact(path) {
+		t.Fatal("saved artifact does not sniff as one")
+	}
+	p2, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same model → same parse of the same text.
+	text := "Domain Name: roundtrip.com\nRegistrar: Example Registrar\nRegistrant Name: Jane Roe\nRegistrant Country: US\n"
+	a, b := p.Parse(text), p2.Parse(text)
+	if a.DomainName != b.DomainName || a.Registrar != b.Registrar ||
+		a.Registrant.Name != b.Registrant.Name || a.Registrant.Country != b.Registrant.Country {
+		t.Fatalf("reloaded model parses differently:\n %+v\n %+v", a, b)
+	}
+	if got := uint64(p2.BlockModel().NumFeatures()); got != uint64(p.BlockModel().NumFeatures()) {
+		t.Fatalf("feature dims changed across round trip: %d", got)
+	}
+}
+
+func TestModelRejectsCorruption(t *testing.T) {
+	p := getParser(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "parser.model")
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			b[modelHeaderLen+len(b)/2] ^= 0x01
+			return b
+		}, ErrModelChecksum},
+		{"truncated payload", func(b []byte) []byte {
+			return b[:len(b)-10]
+		}, ErrModelChecksum},
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}, ErrNotModel},
+		{"future version", func(b []byte) []byte {
+			b[4] = 0xff
+			return b
+		}, ErrModelVersion},
+		{"wrong dims in header", func(b []byte) []byte {
+			b[6]++ // first-level feature count
+			return b
+		}, ErrModelDimensions},
+		{"short header", func(b []byte) []byte {
+			return b[:10]
+		}, ErrNotModel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), data...))
+			_, err := ReadModel(bytes.NewReader(mutated))
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestModelLegacySniff(t *testing.T) {
+	// A legacy bare-gob model file must not sniff as an artifact, so the
+	// Load fallback path picks the right decoder.
+	p := getParser(t)
+	path := filepath.Join(t.TempDir(), "legacy.model")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if IsModelArtifact(path) {
+		t.Fatal("bare gob sniffed as versioned artifact")
+	}
+	if _, err := LoadModel(path); !errors.Is(err, ErrNotModel) {
+		t.Fatalf("LoadModel on legacy gob: err = %v, want ErrNotModel", err)
+	}
+}
+
+func TestSaveModelIsAtomic(t *testing.T) {
+	p := getParser(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "parser.model")
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place: no .tmp litter, artifact still valid.
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want 1", len(entries))
+	}
+	if _, err := LoadModel(path); err != nil {
+		t.Fatal(err)
+	}
+}

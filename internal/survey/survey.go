@@ -191,47 +191,140 @@ func rank(counts map[string]int, n int, unknownLabel string) []Row {
 	return rows
 }
 
-// Survey aggregates facts.
+// Survey aggregates facts incrementally: Add folds each domain into
+// count maps and discards the facts themselves, so memory is bounded by
+// the number of distinct registrars, countries, organizations, and years
+// — not by corpus size. At the paper's 102M-domain scale this is the
+// difference between streaming a store directory and materializing a
+// hundred-gigabyte slice; every table and figure reads the same as the
+// slice-backed implementation it replaces.
 type Survey struct {
-	facts []Facts
+	n int // domains surveyed
+
+	countriesAll  map[string]int            // !Privacy; "" = unknown
+	countries2014 map[string]int            // !Privacy && CreatedYear == 2014
+	orgsAll       map[string]int            // every fact with Org != "" (Table 4 brand match)
+	orgsPublic    map[string]int            // !Privacy && Org != "" (TopOrgs)
+	registrars    map[string]int            // every fact
+	regs2014      map[string]int            // CreatedYear == 2014
+	regsPrivate   map[string]int            // Privacy
+	privacySvcs   map[string]int            // Privacy
+	bl2014Country map[string]int            // Blacklisted && 2014 && !Privacy
+	bl2014Regs    map[string]int            // Blacklisted && 2014
+	years         map[int]int               // CreatedYear > 0
+	yearLabels    map[int]map[string]int    // Figure 4b label mix per year
+	regCountry    map[string]map[string]int // !Privacy: registrar -> country ("[]" = unknown)
 }
 
 // New builds a survey over the given facts.
-func New(facts []Facts) *Survey { return &Survey{facts: facts} }
+func New(facts []Facts) *Survey {
+	s := &Survey{}
+	for _, f := range facts {
+		s.Add(f)
+	}
+	return s
+}
 
-// Add appends more facts.
-func (s *Survey) Add(f Facts) { s.facts = append(s.facts, f) }
+func bump(m *map[string]int, k string) {
+	if *m == nil {
+		*m = make(map[string]int)
+	}
+	(*m)[k]++
+}
+
+// Add folds one domain's facts into the aggregates.
+func (s *Survey) Add(f Facts) {
+	s.n++
+	bump(&s.registrars, f.Registrar)
+	if f.CreatedYear == 2014 {
+		bump(&s.regs2014, f.Registrar)
+	}
+	if f.Org != "" {
+		bump(&s.orgsAll, f.Org)
+	}
+	if f.Privacy {
+		bump(&s.regsPrivate, f.Registrar)
+		bump(&s.privacySvcs, f.PrivacySvc)
+	} else {
+		bump(&s.countriesAll, f.Country)
+		if f.CreatedYear == 2014 {
+			bump(&s.countries2014, f.Country)
+		}
+		if f.Org != "" {
+			bump(&s.orgsPublic, f.Org)
+		}
+		country := f.Country
+		if country == "" {
+			country = "[]"
+		}
+		if s.regCountry == nil {
+			s.regCountry = make(map[string]map[string]int)
+		}
+		m := s.regCountry[f.Registrar]
+		if m == nil {
+			m = make(map[string]int)
+			s.regCountry[f.Registrar] = m
+		}
+		m[country]++
+	}
+	if f.Blacklisted && f.CreatedYear == 2014 {
+		bump(&s.bl2014Regs, f.Registrar)
+		if !f.Privacy {
+			bump(&s.bl2014Country, f.Country)
+		}
+	}
+	if f.CreatedYear > 0 {
+		if s.years == nil {
+			s.years = make(map[int]int)
+		}
+		s.years[f.CreatedYear]++
+		if s.yearLabels == nil {
+			s.yearLabels = make(map[int]map[string]int)
+		}
+		m := s.yearLabels[f.CreatedYear]
+		if m == nil {
+			m = make(map[string]int)
+			s.yearLabels[f.CreatedYear] = m
+		}
+		m[figure4bLabel(f)]++
+	}
+}
+
+// figure4bLabel buckets one domain for Figure 4b.
+func figure4bLabel(f Facts) string {
+	if f.Privacy {
+		return "Private"
+	}
+	if f.Country == "" {
+		return "Unknown"
+	}
+	for _, c := range figure4bCountries {
+		if f.Country == c {
+			return c
+		}
+	}
+	return "Other"
+}
 
 // Len reports the number of domains surveyed.
-func (s *Survey) Len() int { return len(s.facts) }
+func (s *Survey) Len() int { return s.n }
 
 // Table3 ranks registrant countries (privacy-protected domains excluded,
 // unknown-country counted) for all time and for 2014 only.
 func (s *Survey) Table3() (allTime, in2014 []Row) {
-	all := make(map[string]int)
-	y2014 := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Privacy {
-			continue
-		}
-		all[f.Country]++
-		if f.CreatedYear == 2014 {
-			y2014[f.Country]++
-		}
-	}
-	return rank(all, 10, "(Unknown)"), rank(y2014, 10, "(Unknown)")
+	return rank(s.countriesAll, 10, "(Unknown)"), rank(s.countries2014, 10, "(Unknown)")
 }
 
 // Table4 counts domains per known brand organization, ranked.
 func (s *Survey) Table4(brands []string) []Row {
-	counts := make(map[string]int)
 	canon := make(map[string]string)
 	for _, b := range brands {
 		canon[strings.ToLower(b)] = b
 	}
-	for _, f := range s.facts {
-		if b, ok := canon[strings.ToLower(f.Org)]; ok {
-			counts[b]++
+	counts := make(map[string]int)
+	for org, c := range s.orgsAll {
+		if b, ok := canon[strings.ToLower(org)]; ok {
+			counts[b] += c
 		}
 	}
 	var rows []Row
@@ -251,19 +344,12 @@ func (s *Survey) Table4(brands []string) []Row {
 // observation that domain sellers, online marketers and hosting companies
 // hold the largest portfolios, ahead of the brand companies of Table 4.
 func (s *Survey) TopOrgs(n int) []Row {
-	counts := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Privacy || f.Org == "" {
-			continue
-		}
-		counts[f.Org]++
-	}
 	type kv struct {
 		k string
 		v int
 	}
-	var all []kv
-	for k, v := range counts {
+	all := make([]kv, 0, len(s.orgsPublic))
+	for k, v := range s.orgsPublic {
 		all = append(all, kv{k, v})
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -284,59 +370,27 @@ func (s *Survey) TopOrgs(n int) []Row {
 
 // Table5 ranks registrars for all time and 2014.
 func (s *Survey) Table5() (allTime, in2014 []Row) {
-	all := make(map[string]int)
-	y2014 := make(map[string]int)
-	for _, f := range s.facts {
-		all[f.Registrar]++
-		if f.CreatedYear == 2014 {
-			y2014[f.Registrar]++
-		}
-	}
-	return rank(all, 10, "(Unknown)"), rank(y2014, 10, "(Unknown)")
+	return rank(s.registrars, 10, "(Unknown)"), rank(s.regs2014, 10, "(Unknown)")
 }
 
 // Table6 ranks registrars among privacy-protected domains.
 func (s *Survey) Table6() []Row {
-	counts := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Privacy {
-			counts[f.Registrar]++
-		}
-	}
-	return rank(counts, 10, "(Unknown)")
+	return rank(s.regsPrivate, 10, "(Unknown)")
 }
 
 // Table7 ranks privacy-protection services.
 func (s *Survey) Table7() []Row {
-	counts := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Privacy {
-			counts[f.PrivacySvc]++
-		}
-	}
-	return rank(counts, 10, "(Unknown)")
+	return rank(s.privacySvcs, 10, "(Unknown)")
 }
 
 // Table8 ranks registrant countries of blacklisted 2014 domains.
 func (s *Survey) Table8() []Row {
-	counts := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Blacklisted && f.CreatedYear == 2014 && !f.Privacy {
-			counts[f.Country]++
-		}
-	}
-	return rank(counts, 10, "(Unknown)")
+	return rank(s.bl2014Country, 10, "(Unknown)")
 }
 
 // Table9 ranks registrars of blacklisted 2014 domains.
 func (s *Survey) Table9() []Row {
-	counts := make(map[string]int)
-	for _, f := range s.facts {
-		if f.Blacklisted && f.CreatedYear == 2014 {
-			counts[f.Registrar]++
-		}
-	}
-	return rank(counts, 10, "(Unknown)")
+	return rank(s.bl2014Regs, 10, "(Unknown)")
 }
 
 // YearCount is one histogram bucket for Figure 4a.
@@ -347,20 +401,14 @@ type YearCount struct {
 
 // Figure4a returns the creation-date histogram.
 func (s *Survey) Figure4a() []YearCount {
-	counts := make(map[int]int)
-	for _, f := range s.facts {
-		if f.CreatedYear > 0 {
-			counts[f.CreatedYear]++
-		}
-	}
-	years := make([]int, 0, len(counts))
-	for y := range counts {
+	years := make([]int, 0, len(s.years))
+	for y := range s.years {
 		years = append(years, y)
 	}
 	sort.Ints(years)
 	out := make([]YearCount, 0, len(years))
 	for _, y := range years {
-		out = append(out, YearCount{Year: y, Count: counts[y]})
+		out = append(out, YearCount{Year: y, Count: s.years[y]})
 	}
 	return out
 }
@@ -377,44 +425,22 @@ var figure4bCountries = []string{"United States", "China", "United Kingdom", "Fr
 // Figure4b returns the per-year proportions of the top countries plus
 // Private, Unknown and Other, from firstYear on.
 func (s *Survey) Figure4b(firstYear int) []YearMix {
-	perYear := make(map[int]map[string]int)
-	totals := make(map[int]int)
-	label := func(f Facts) string {
-		if f.Privacy {
-			return "Private"
+	years := make([]int, 0, len(s.yearLabels))
+	for y := range s.yearLabels {
+		if y >= firstYear {
+			years = append(years, y)
 		}
-		if f.Country == "" {
-			return "Unknown"
-		}
-		for _, c := range figure4bCountries {
-			if f.Country == c {
-				return c
-			}
-		}
-		return "Other"
-	}
-	for _, f := range s.facts {
-		if f.CreatedYear < firstYear || f.CreatedYear == 0 {
-			continue
-		}
-		m := perYear[f.CreatedYear]
-		if m == nil {
-			m = make(map[string]int)
-			perYear[f.CreatedYear] = m
-		}
-		m[label(f)]++
-		totals[f.CreatedYear]++
-	}
-	years := make([]int, 0, len(perYear))
-	for y := range perYear {
-		years = append(years, y)
 	}
 	sort.Ints(years)
 	out := make([]YearMix, 0, len(years))
 	for _, y := range years {
+		var total int
+		for _, c := range s.yearLabels[y] {
+			total += c
+		}
 		mix := YearMix{Year: y, Parts: make(map[string]float64)}
-		for lbl, c := range perYear[y] {
-			mix.Parts[lbl] = float64(c) / float64(totals[y])
+		for lbl, c := range s.yearLabels[y] {
+			mix.Parts[lbl] = float64(c) / float64(total)
 		}
 		out = append(out, mix)
 	}
@@ -437,16 +463,14 @@ func (s *Survey) Figure5(registrarSubstrings []string) []RegistrarMix {
 	for _, sub := range registrarSubstrings {
 		counts := make(map[string]int)
 		total := 0
-		for _, f := range s.facts {
-			if f.Privacy || !strings.Contains(strings.ToLower(f.Registrar), strings.ToLower(sub)) {
+		for reg, perCountry := range s.regCountry {
+			if !strings.Contains(strings.ToLower(reg), strings.ToLower(sub)) {
 				continue
 			}
-			key := f.Country
-			if key == "" {
-				key = "[]"
+			for country, c := range perCountry {
+				counts[country] += c
+				total += c
 			}
-			counts[key]++
-			total++
 		}
 		type kv struct {
 			k string

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/labels"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/tokenize"
 )
@@ -92,24 +93,22 @@ func Retrain(prev *Parser, records []*LabeledRecord, cfg Config) (*Parser, Train
 	return core.Retrain(prev, records, cfg)
 }
 
-// Save writes a trained parser to path.
+// Save writes a trained parser to path as a versioned model artifact
+// (magic header, format version, feature dimensions, and a payload
+// checksum; see internal/store). The write is atomic: a temp file is
+// fsynced and renamed into place.
 func Save(p *Parser, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("whoisparse: save: %w", err)
-	}
-	defer f.Close()
-	if _, err := p.WriteTo(f); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("whoisparse: save: %w", err)
-	}
-	return nil
+	return store.SaveModel(p, path)
 }
 
-// Load reads a parser written by Save.
+// Load reads a parser written by Save. Versioned artifacts are verified
+// (magic, version, checksum, dimensions) before deserializing; files
+// from the pre-artifact era — bare parser gobs — still load via a
+// legacy fallback path.
 func Load(path string) (*Parser, error) {
+	if store.IsModelArtifact(path) {
+		return store.LoadModel(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("whoisparse: load: %w", err)

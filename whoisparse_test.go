@@ -2,6 +2,7 @@ package whoisparse
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -90,5 +91,75 @@ func TestLabeledIO(t *testing.T) {
 func TestBlockConstants(t *testing.T) {
 	if BlockRegistrant.String() != "registrant" || BlockNull.String() != "null" {
 		t.Error("block constants miswired")
+	}
+}
+
+// Save now writes the versioned artifact format; Load must verify it and
+// still accept the bare-gob files the pre-artifact Save produced.
+func TestSaveWritesVersionedArtifactAndLoadsLegacy(t *testing.T) {
+	corpus := GenerateCorpus(CorpusConfig{N: 120, Seed: 305})
+	parser, _, err := Train(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	artifact := filepath.Join(t.TempDir(), "parser.model")
+	if err := Save(parser, artifact); err != nil {
+		t.Fatal(err)
+	}
+	head, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) < 4 || string(head[:4]) != "WMDL" {
+		t.Fatalf("Save did not write the versioned artifact magic, got % x", head[:4])
+	}
+
+	// Legacy format: a bare parser gob, exactly what the old Save wrote.
+	legacy := filepath.Join(t.TempDir(), "legacy.model")
+	var buf bytes.Buffer
+	if _, err := parser.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	text := corpus[0].Text
+	want := parser.Parse(text)
+	for _, path := range []string{artifact, legacy} {
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", filepath.Base(path), err)
+		}
+		got := loaded.Parse(text)
+		for i := range want.Blocks {
+			if want.Blocks[i] != got.Blocks[i] {
+				t.Fatalf("Load(%s): labels differ from trained parser", filepath.Base(path))
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptArtifact(t *testing.T) {
+	corpus := GenerateCorpus(CorpusConfig{N: 120, Seed: 306})
+	parser, _, err := Train(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "parser.model")
+	if err := Save(parser, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF // flip a payload byte; the checksum must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted an artifact with a corrupted payload")
 	}
 }
