@@ -12,8 +12,9 @@ COVER_FLOOR ?= 70
 
 # Packages whose coverage is gated. internal/obs is the observability
 # layer everything reports through; internal/serve is the hot serving
-# path; internal/store is the persistence layer under both.
-COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store
+# path; internal/store is the persistence layer under both;
+# internal/lifecycle owns hot reload and model promotion.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle
 
 .PHONY: verify vet build test race bench-serve lint importcheck benchcheck cover fuzz-smoke
 
@@ -29,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
@@ -59,8 +60,9 @@ importcheck:
 benchcheck:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
 	( $(GO) test -run '^$$' -bench 'BenchmarkPosterior$$|BenchmarkServeHot$$' -benchtime 200x -count 3 ./internal/serve . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkStoreAppend$$|BenchmarkStoreScan$$' -benchtime 4096x -count 3 ./internal/store ) \
-	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkStoreAppend$$|BenchmarkStoreScan$$' -benchtime 4096x -count 3 ./internal/store && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkHotSwap$$|BenchmarkParseDuringSwap$$' -benchtime 4096x -count 3 ./internal/lifecycle ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json
 
 # fuzz-smoke: replay the checked-in seed corpora and fuzz the record
 # decoder briefly. Not part of verify; run before touching encoding.go.

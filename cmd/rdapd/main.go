@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/rdap"
 	"repro/internal/serve"
@@ -49,6 +51,8 @@ func main() {
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
 	storeDir := flag.String("store", "", "warm-start the parse cache from this record store's newest segment")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
+	lifecycleMode := flag.Bool("lifecycle", false,
+		"manage -model through internal/lifecycle: hot-reload on SIGHUP or POST /admin/reload (requires a WMDL -model)")
 	flag.Parse()
 
 	// One registry shared by every layer: the RDAP handler, the
@@ -60,12 +64,37 @@ func main() {
 	srv := rdap.NewServer(domains)
 	srv.Instrument(reg)
 
+	// With -lifecycle the model is owned by a lifecycle.Manager: every
+	// response is stamped with the model version that produced it, the
+	// drift sentinel watches live parses, and the model can be hot-swapped
+	// (SIGHUP, or POST /admin/reload on -debug-addr) with the serving
+	// cache invalidated in the same atomic step.
+	var mgr *lifecycle.Manager
 	if *parseMode {
-		p, err := loadOrTrainParser(*model, *seed)
-		if err != nil {
-			log.Fatal(err)
+		var p *core.Parser
+		if *lifecycleMode {
+			if *model == "" {
+				log.Fatal("-lifecycle requires -model (a WMDL artifact to reload from)")
+			}
+			var err error
+			mgr, err = lifecycle.NewFromFile(*model, lifecycle.Options{
+				Metrics: reg,
+				Log:     obs.NewLogger("lifecycle", os.Stderr),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap := mgr.Current()
+			log.Printf("lifecycle: serving model %s (%s)", snap.Version, snap.Info)
+			p = snap.Parser
+		} else {
+			var err error
+			p, err = loadOrTrainParser(*model, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.Instrument(reg)
 		}
-		p.Instrument(reg)
 		ps := serve.New(p, serve.Options{
 			Workers:       *parseWorkers,
 			QueueDepth:    *parseQueue,
@@ -76,8 +105,18 @@ func main() {
 			ps.Close() // drain in-flight parses after the listener stops
 			log.Printf("parse serving: %s", ps.Stats())
 		}()
+		if mgr != nil {
+			mgr.Attach(ps)
+		}
 		if *storeDir != "" {
-			n, err := warmStart(ps, *storeDir, reg)
+			// Under -lifecycle only records stamped by the exact model
+			// being served may seed the cache; anything else would be
+			// unattributable (or misattributed) after the first reload.
+			wantVersion := ""
+			if mgr != nil {
+				wantVersion = mgr.Current().Version
+			}
+			n, err := warmStart(ps, *storeDir, wantVersion, reg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -97,10 +136,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dbg := &http.Server{Handler: obs.DebugMux(reg)}
+		mux := obs.DebugMux(reg)
+		if mgr != nil {
+			mux.HandleFunc("/admin/reload", adminReload(mgr, *model))
+			mux.HandleFunc("/admin/model", adminModel(mgr))
+		}
+		dbg := &http.Server{Handler: mux}
 		go func() { _ = dbg.Serve(dl) }()
 		defer dbg.Close()
 		log.Printf("debug endpoints at http://%s/debug/vars and /debug/pprof/", dl.Addr())
+		if mgr != nil {
+			log.Printf("model admin at http://%s/admin/model (POST /admin/reload to hot-swap)", dl.Addr())
+		}
 	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
 	if *parseMode {
@@ -110,15 +157,75 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if mgr != nil {
+		// SIGHUP = "re-read -model from disk and swap it live", the
+		// classic daemon reload contract. A bad artifact is rejected
+		// with the old model still serving.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				snap, err := mgr.ReloadFromFile(*model)
+				if err != nil {
+					log.Printf("SIGHUP reload failed (still serving %s): %v",
+						mgr.Current().Version, err)
+					continue
+				}
+				log.Printf("SIGHUP reload: now serving %s (%s)", snap.Version, snap.Info)
+			}
+		}()
+	}
 	<-sig
 	log.Printf("shutting down")
+}
+
+// adminReload hot-swaps the model from the artifact path on POST — the
+// HTTP twin of SIGHUP, for orchestrators that would rather curl than
+// signal.
+func adminReload(mgr *lifecycle.Manager, model string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		snap, err := mgr.ReloadFromFile(model)
+		if err != nil {
+			log.Printf("admin reload failed (still serving %s): %v", mgr.Current().Version, err)
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		log.Printf("admin reload: now serving %s (%s)", snap.Version, snap.Info)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"version": snap.Version, "seq": snap.Seq, "artifact": snap.Info.String(),
+		})
+	}
+}
+
+// adminModel reports which model is live and what the drift sentinel
+// thinks of it.
+func adminModel(mgr *lifecycle.Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := mgr.Current()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"version":  snap.Version,
+			"seq":      snap.Seq,
+			"artifact": snap.Info.String(),
+			"path":     snap.Path,
+			"state":    mgr.State().String(),
+			"flagged":  mgr.Flagged(),
+		})
+	}
 }
 
 // warmStart replays the newest store segment (the records written
 // closest to the previous shutdown) into the serving cache: records that
 // carry both their raw text and a parsed view preload under the same
-// cache key a live request for that text would compute.
-func warmStart(ps *serve.Server, dir string, reg *obs.Registry) (int, error) {
+// cache key a live request for that text would compute. When wantVersion
+// is non-empty, only records stamped by that exact model version are
+// admitted.
+func warmStart(ps *serve.Server, dir, wantVersion string, reg *obs.Registry) (int, error) {
 	st, err := store.Open(dir, store.Options{Metrics: reg})
 	if err != nil {
 		return 0, err
@@ -131,6 +238,9 @@ func warmStart(ps *serve.Server, dir string, reg *obs.Registry) (int, error) {
 		rec := it.Record()
 		if rec.Text == "" || rec.Parsed == nil {
 			continue // thin or unparsed records cannot seed the cache
+		}
+		if wantVersion != "" && rec.Parsed.ModelVersion != wantVersion {
+			continue // parsed by a different (or unknown) model
 		}
 		ps.Preload(rec.Text, rec.Parsed)
 		n++

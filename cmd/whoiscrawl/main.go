@@ -111,6 +111,17 @@ func main() {
 				log.Fatal(err)
 			}
 			opts.Parse = p.Parse
+			// Stamp every persisted record with the parsing model's
+			// WMDL identity, so later drift analysis can segment the
+			// corpus by the model that read it. Legacy bare-gob models
+			// have no identity to stamp.
+			if info, err := store.StatModel(*modelFile); err == nil {
+				opts.ModelVersion = info.String()
+				log.Printf("parsing with %s (%s); records stamped with that identity",
+					*modelFile, info)
+			} else {
+				log.Printf("parsing with legacy model %s (no WMDL identity: %v)", *modelFile, err)
+			}
 		}
 		sink = store.NewSink(st, opts)
 	}

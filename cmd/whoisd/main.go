@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
@@ -56,6 +57,8 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address (empty disables)")
+	lifecycleMode := flag.Bool("lifecycle", false,
+		"manage -model through internal/lifecycle: hot-reload on SIGHUP (requires a WMDL -model)")
 	flag.Parse()
 
 	// One registry across the cluster: per-server query counters, the
@@ -69,17 +72,38 @@ func main() {
 	eco := registry.BuildEcosystem(domains, *failFrac)
 
 	var ps *serve.Server
+	var mgr *lifecycle.Manager
 	if *parseMode {
-		p, err := loadOrTrainParser(*model, *seed)
-		if err != nil {
-			log.Fatal(err)
+		var p *core.Parser
+		if *lifecycleMode {
+			if *model == "" {
+				log.Fatal("-lifecycle requires -model (a WMDL artifact to reload from)")
+			}
+			var err error
+			mgr, err = lifecycle.NewFromFile(*model, lifecycle.Options{Metrics: reg, Log: logger})
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap := mgr.Current()
+			log.Printf("lifecycle: serving model %s (%s); SIGHUP hot-reloads %s",
+				snap.Version, snap.Info, *model)
+			p = snap.Parser
+		} else {
+			var err error
+			p, err = loadOrTrainParser(*model, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.Instrument(reg)
 		}
-		p.Instrument(reg)
 		ps = serve.New(p, serve.Options{Workers: *parseWorkers, CacheCapacity: *parseCache, Metrics: reg})
 		defer func() {
 			ps.Close() // drain in-flight parses before exit
 			log.Printf("parse serving: %s", ps.Stats())
 		}()
+		if mgr != nil {
+			mgr.Attach(ps)
+		}
 		log.Printf("parse mode on: try '--parse <domain>' against any server")
 	}
 
@@ -123,6 +147,24 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if mgr != nil {
+		// SIGHUP re-reads -model and swaps it into every registrar
+		// server at once (they share the serving layer); a bad artifact
+		// is rejected with the old model still live.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				snap, err := mgr.ReloadFromFile(*model)
+				if err != nil {
+					log.Printf("SIGHUP reload failed (still serving %s): %v",
+						mgr.Current().Version, err)
+					continue
+				}
+				log.Printf("SIGHUP reload: now serving %s (%s)", snap.Version, snap.Info)
+			}
+		}()
+	}
 	<-sig
 	log.Printf("shutting down")
 	dumpStats(reg)

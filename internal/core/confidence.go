@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/labels"
 	"repro/internal/tokenize"
@@ -48,6 +49,46 @@ func (p *Parser) Confidence(text string) ([]LineConfidence, float64) {
 		// The distribution of weakest-link confidence across records is
 		// the live triage dashboard: a growing low tail means a new
 		// format is arriving (§5.3).
+		p.met.confidenceMin.Observe(min)
+	}
+	return out, min
+}
+
+// ParseWithConfidence is Parse fused with the §5.3 triage signal: both
+// levels run as usual, and the per-line posterior marginals of the
+// first-level decode come out of the same lattice pass (crf.Posterior),
+// so the minimum line confidence — the record's weakest link — costs one
+// forward-backward instead of a separate Confidence call. The live drift
+// sentinel (internal/lifecycle) samples this path to watch registrars
+// whose confidence distribution degrades.
+func (p *Parser) ParseWithConfidence(text string) (*ParsedRecord, float64) {
+	var start time.Time
+	if p.met != nil {
+		start = time.Now()
+	}
+	lines := tokenize.Tokenize(text, p.cfg.Tokenize)
+	min := 1.0
+	blocks := make([]labels.Block, len(lines))
+	if len(lines) > 0 {
+		inst := p.block.MapLines(lines)
+		post := p.block.Posterior(inst)
+		for i, y := range post.Path {
+			blocks[i] = labels.Block(y)
+			if prob := post.Marginals[i][y]; prob < min {
+				min = prob
+			}
+		}
+	}
+	out := &ParsedRecord{
+		Lines:  lines,
+		Blocks: blocks,
+		Fields: p.ParseFields(lines, blocks),
+	}
+	p.extract(out)
+	if p.met != nil {
+		p.met.parseSeconds.ObserveSince(start)
+		p.met.parses.Inc()
+		p.met.lines.Add(uint64(len(lines)))
 		p.met.confidenceMin.Observe(min)
 	}
 	return out, min

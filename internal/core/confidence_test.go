@@ -75,3 +75,42 @@ func TestRankByUncertaintyPrefersAlienFormats(t *testing.T) {
 		t.Errorf("only %d/3 top-uncertain records are the alien format", alienInTop)
 	}
 }
+
+// TestParseWithConfidenceAgrees verifies the fused path is Parse plus
+// Confidence in one lattice build: the parsed record matches Parse and
+// the reported minimum matches Confidence.
+func TestParseWithConfidenceAgrees(t *testing.T) {
+	p := getParser(t)
+	for i, d := range synth.Generate(synth.Config{N: 10, Seed: 504}) {
+		text := d.Render().Text
+		rec, min := p.ParseWithConfidence(text)
+		want := p.Parse(text)
+		if len(rec.Blocks) != len(want.Blocks) {
+			t.Fatalf("record %d: %d blocks vs Parse's %d", i, len(rec.Blocks), len(want.Blocks))
+		}
+		for j := range rec.Blocks {
+			if rec.Blocks[j] != want.Blocks[j] || rec.Fields[j] != want.Fields[j] {
+				t.Errorf("record %d line %d: fused labels (%v,%v) differ from Parse (%v,%v)",
+					i, j, rec.Blocks[j], rec.Fields[j], want.Blocks[j], want.Fields[j])
+			}
+		}
+		if rec.Registrant != want.Registrant || rec.Registrar != want.Registrar {
+			t.Errorf("record %d: fused extraction differs from Parse", i)
+		}
+		_, wantMin := p.Confidence(text)
+		if diff := min - wantMin; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("record %d: fused min confidence %v vs Confidence %v", i, min, wantMin)
+		}
+	}
+}
+
+func TestParseWithConfidenceEmpty(t *testing.T) {
+	p := getParser(t)
+	rec, min := p.ParseWithConfidence("")
+	if min != 1 {
+		t.Errorf("empty record min confidence = %v, want 1", min)
+	}
+	if len(rec.Lines) != 0 {
+		t.Errorf("empty record produced %d lines", len(rec.Lines))
+	}
+}

@@ -310,6 +310,13 @@ type ParsedRecord struct {
 	CreatedDate  string
 	UpdatedDate  string
 	ExpiresDate  string
+
+	// ModelVersion identifies the model that produced this record, when a
+	// lifecycle layer stamps it (internal/lifecycle; "" otherwise). WHOIS
+	// formats drift and models are retrained while serving (§5.1), so a
+	// parse is only interpretable alongside the model version that made
+	// it — drift analysis segments on this field.
+	ModelVersion string
 }
 
 // Clone returns a deep copy of the record, for callers that need to

@@ -1,0 +1,58 @@
+package lifecycle
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// BenchmarkHotSwap measures the cost of publishing a new model to an
+// attached serving layer — the zero-downtime promise is only honest if
+// the swap itself is cheap enough to run mid-traffic.
+func BenchmarkHotSwap(b *testing.B) {
+	weak := weakParser(b)
+	m := New(weak, Options{})
+	ps := serve.New(weak, serve.Options{Workers: 2})
+	defer ps.Close()
+	m.Attach(ps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Swap(weak, store.ModelInfo{}, "")
+	}
+}
+
+// BenchmarkParseDuringSwap measures steady-state serving throughput
+// with a hot swap every 2048 requests: mostly cache hits, plus the
+// amortized cost of the swap and the re-parses it forces (the cache
+// generation moves with the model, so each swap re-misses the hot set).
+func BenchmarkParseDuringSwap(b *testing.B) {
+	recs, weak := testCorpus(b), weakParser(b)
+	m := New(weak, Options{})
+	ps := serve.New(weak, serve.Options{Workers: 4, CacheCapacity: 256})
+	defer ps.Close()
+	m.Attach(ps)
+
+	texts := make([]string, 8)
+	for i := range texts {
+		texts[i] = recs[i].Text
+	}
+	ctx := context.Background()
+	for _, txt := range texts {
+		if _, err := ps.ParseWait(ctx, txt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2048 == 0 {
+			m.Swap(weak, store.ModelInfo{}, "")
+		}
+		if _, err := ps.ParseWait(ctx, texts[i%len(texts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,496 @@
+// Package lifecycle is the online model-lifecycle control plane: it owns
+// which trained model is live, swaps models with zero downtime, watches
+// live traffic for drift, queues the records a human should label next
+// (§5.3 active learning), and retrains + shadow-evaluates candidates so a
+// worse model is never promoted.
+//
+// The paper's system is not a one-shot parser: WHOIS templates drift as
+// registrars change formats (§5.1), so the deployed model is retrained
+// on newly labeled records and redeployed while the daemons keep
+// serving. This package closes that loop in-process:
+//
+//	     ┌──────────────────────────────────────────────┐
+//	     ▼                                              │
+//	Serving ──drift──▶ DriftFlagged ──▶ Retraining ──▶ Shadow
+//	     ▲                                              │
+//	     └────────────── promoted ◀─────────────────────┘
+//	                     (rejected keeps the old model)
+//
+// The hot-swap mechanics live in internal/serve: a Manager holds the
+// current model in an atomic Snapshot pointer and, on swap, rebinds every
+// attached serve.Server to a ParseFunc closed over that snapshot.
+// serve.SetParseFunc replaces the parse function and bumps the cache
+// generation in a single atomic store, so no request can observe the new
+// model with the old cache (or a torn mix); entries cached under the old
+// generation simply stop matching and age out of the LRU. Every parse is
+// stamped with the snapshot's version string, which makes "which model
+// produced this answer" a property of the response, not of wall-clock
+// correlation.
+package lifecycle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// State is the lifecycle position of the serving stack. Transitions are
+// Serving → DriftFlagged (sentinel), DriftFlagged/Serving → Retraining →
+// Shadow → Serving (promoted or rejected; DriftFlagged again if flags
+// remain). Exported via the lifecycle.state gauge.
+type State int32
+
+const (
+	// StateServing: the live model is healthy and serving.
+	StateServing State = iota
+	// StateDriftFlagged: at least one registrar window tripped the
+	// sentinel; the live model keeps serving while labeling/retraining
+	// catches up.
+	StateDriftFlagged
+	// StateRetraining: a candidate model is being trained.
+	StateRetraining
+	// StateShadow: the candidate is being evaluated against the live
+	// model on held-out labeled data.
+	StateShadow
+)
+
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateDriftFlagged:
+		return "drift-flagged"
+	case StateRetraining:
+		return "retraining"
+	case StateShadow:
+		return "shadow"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Snapshot is one immutable generation of the serving model. Swaps
+// replace the whole snapshot atomically; nothing in it is ever mutated
+// after publication.
+type Snapshot struct {
+	// Parser is the trained model.
+	Parser *core.Parser
+	// Seq is the in-process generation number, starting at 1 for the
+	// model the Manager was built with and incrementing per swap.
+	Seq uint64
+	// Info is the WMDL artifact identity when the model came from (or
+	// was promoted to) disk; zero for purely in-memory models.
+	Info store.ModelInfo
+	// Path is the artifact path the model was loaded from, if any.
+	Path string
+	// Version is the string stamped into every ParsedRecord this
+	// snapshot produces: "m<seq>" or "m<seq>-<crc32c>" when the
+	// artifact identity is known.
+	Version string
+}
+
+// Options configures a Manager. The zero value is usable: drift
+// sentinel on with default thresholds, no queue persistence, no
+// retraining (Retrain errors without Holdout).
+type Options struct {
+	// Metrics receives lifecycle.* metrics; nil means a private
+	// registry (reachable via Manager.Metrics). Swapped-in models are
+	// instrumented against this registry only when it is non-nil, so a
+	// daemon that shares one registry across core/serve/store sees
+	// every model generation under the same core.* names.
+	Metrics *obs.Registry
+	// Log receives lifecycle events (swaps, drift flags, promotion
+	// verdicts); nil discards them.
+	Log *obs.Logger
+
+	// SampleEvery scores every Nth parse with posterior confidence
+	// (ParseWithConfidence costs one extra forward-backward over the
+	// block lattice); the rest run the plain Viterbi path and feed only
+	// the null/other-rate window. <= 0 means 8; 1 scores everything.
+	SampleEvery int
+	// Window is the per-registrar sliding-window size in observations;
+	// <= 0 means 64.
+	Window int
+	// MinWindow is the minimum observations before a window may flag;
+	// <= 0 means 16 (capped at Window).
+	MinWindow int
+	// ConfidenceFloor flags a registrar whose windowed mean minimum
+	// posterior confidence falls below it; <= 0 means 0.5.
+	ConfidenceFloor float64
+	// NullOtherCeiling flags a registrar whose windowed mean fraction
+	// of Null/Other lines exceeds it — the "model stopped recognizing
+	// the template" signal (§5.1). <= 0 means 0.9.
+	NullOtherCeiling float64
+	// OnDrift, when non-nil, is invoked (on the parsing goroutine, keep
+	// it cheap) each time a registrar newly trips the sentinel.
+	OnDrift func(registrar string)
+
+	// Queue, when non-nil, is the store that FlushQueue persists
+	// low-confidence records into for labeling, ranked most uncertain
+	// first (§5.3).
+	Queue *store.Store
+	// QueueThreshold admits a record to the labeling queue when its
+	// minimum posterior confidence is below it; <= 0 means
+	// ConfidenceFloor.
+	QueueThreshold float64
+	// QueueCap bounds the in-memory queue; when full, the least
+	// uncertain entry is evicted first. <= 0 means 256.
+	QueueCap int
+
+	// Train is the config candidates are retrained with; the zero value
+	// means core.DefaultConfig().
+	Train core.Config
+	// Holdout is the labeled evaluation set for shadow comparison;
+	// Retrain refuses to run without it, because promotion without an
+	// independent yardstick is how a worse model goes live.
+	Holdout []*labels.LabeledRecord
+	// PromotePath, when non-empty, receives the promoted candidate as a
+	// WMDL artifact (atomic write) before the in-process swap, so a
+	// restart comes back up on the promoted model.
+	PromotePath string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Log == nil {
+		o.Log = obs.NewLogger("lifecycle", io.Discard)
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 16
+	}
+	if o.MinWindow > o.Window {
+		o.MinWindow = o.Window
+	}
+	if o.ConfidenceFloor <= 0 {
+		o.ConfidenceFloor = 0.5
+	}
+	if o.NullOtherCeiling <= 0 {
+		o.NullOtherCeiling = 0.9
+	}
+	if o.QueueThreshold <= 0 {
+		o.QueueThreshold = o.ConfidenceFloor
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Train.L2 == 0 && o.Train.MinCount == 0 {
+		o.Train = core.DefaultConfig()
+	}
+	return o
+}
+
+type metrics struct {
+	swaps       *obs.Counter
+	reloads     *obs.Counter
+	promotions  *obs.Counter
+	rejections  *obs.Counter
+	retrainErrs *obs.Counter
+	state       *obs.Gauge
+	modelSeq    *obs.Gauge
+
+	driftObs     *obs.Counter
+	driftEvents  *obs.Counter
+	driftFlagged *obs.Gauge
+	confidence   *obs.Histogram
+	nullRate     *obs.Histogram
+
+	queuePersisted *obs.Counter
+	queueDropped   *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		swaps:       reg.Counter("lifecycle.swaps"),
+		reloads:     reg.Counter("lifecycle.reloads"),
+		promotions:  reg.Counter("lifecycle.retrain.promotions"),
+		rejections:  reg.Counter("lifecycle.retrain.rejections"),
+		retrainErrs: reg.Counter("lifecycle.retrain.errors"),
+		state:       reg.Gauge("lifecycle.state"),
+		modelSeq:    reg.Gauge("lifecycle.model.seq"),
+
+		driftObs:     reg.Counter("lifecycle.drift.observations"),
+		driftEvents:  reg.Counter("lifecycle.drift.events"),
+		driftFlagged: reg.Gauge("lifecycle.drift.flagged"),
+		confidence:   reg.Histogram("lifecycle.drift.confidence", obs.UnitBounds()),
+		nullRate:     reg.Histogram("lifecycle.drift.nullrate", obs.UnitBounds()),
+
+		queuePersisted: reg.Counter("lifecycle.queue.persisted"),
+		queueDropped:   reg.Counter("lifecycle.queue.dropped"),
+	}
+}
+
+// Manager owns the live model and the loop around it. All methods are
+// safe for concurrent use.
+type Manager struct {
+	opts Options
+	log  *obs.Logger
+	met  metrics
+
+	cur   atomic.Pointer[Snapshot]
+	seq   atomic.Uint64
+	state atomic.Int32
+
+	// mu serializes swaps and the attached-server set, so every server
+	// converges on the latest snapshot even under concurrent swaps.
+	mu           sync.Mutex
+	attached     []*serve.Server
+	instrument   bool
+	instrumented map[*core.Parser]bool
+
+	// retrainMu serializes train → shadow → promote, one candidate at
+	// a time.
+	retrainMu sync.Mutex
+
+	sentinel *sentinel
+	queue    *alqueue
+}
+
+// New builds a Manager serving p (an in-memory model; use NewFromFile
+// when the model has an artifact identity).
+func New(p *core.Parser, opts Options) *Manager {
+	return newManager(p, store.ModelInfo{}, "", opts)
+}
+
+// NewFromFile loads the WMDL artifact at path and builds a Manager
+// serving it, with the artifact identity (version, CRC) in the snapshot.
+func NewFromFile(path string, opts Options) (*Manager, error) {
+	info, err := store.StatModel(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := store.LoadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	return newManager(p, info, path, opts), nil
+}
+
+func newManager(p *core.Parser, info store.ModelInfo, path string, opts Options) *Manager {
+	instrument := opts.Metrics != nil
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:         opts,
+		log:          opts.Log,
+		met:          newMetrics(opts.Metrics),
+		instrument:   instrument,
+		instrumented: map[*core.Parser]bool{},
+	}
+	m.sentinel = newSentinel(opts)
+	m.queue = newALQueue(opts.QueueThreshold, opts.QueueCap)
+	opts.Metrics.GaugeFunc("lifecycle.queue.pending", func() float64 {
+		return float64(m.queue.len())
+	})
+	m.setState(StateServing)
+	m.publish(p, info, path)
+	return m
+}
+
+// Metrics returns the registry lifecycle metrics land in.
+func (m *Manager) Metrics() *obs.Registry { return m.opts.Metrics }
+
+// Current returns the live snapshot.
+func (m *Manager) Current() *Snapshot { return m.cur.Load() }
+
+// State returns the lifecycle state.
+func (m *Manager) State() State { return State(m.state.Load()) }
+
+func (m *Manager) setState(s State) {
+	m.state.Store(int32(s))
+	m.met.state.Set(int64(s))
+}
+
+// Attach routes a serve.Server through the manager: its parse function
+// is replaced with the current snapshot's stamped+observed ParseFunc
+// now, and rebound on every future swap. Attaching bumps the server's
+// cache generation, so results cached before attachment (unstamped, from
+// an unknown model) are never served again.
+func (m *Manager) Attach(ps *serve.Server) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attached = append(m.attached, ps)
+	ps.SetParseFunc(m.parseFuncFor(m.cur.Load()))
+}
+
+// ParseFunc returns the current snapshot's parse function — what an
+// attached server runs on a cache miss. Useful for frontends that do not
+// sit behind serve (batch drivers).
+func (m *Manager) ParseFunc() serve.ParseFunc {
+	return m.parseFuncFor(m.cur.Load())
+}
+
+// Parse runs the current model over text with lifecycle stamping and
+// drift observation, bypassing any serving cache.
+func (m *Manager) Parse(text string) *core.ParsedRecord {
+	return m.parseFuncFor(m.cur.Load())(text)
+}
+
+// parseFuncFor binds a snapshot into the ParseFunc handed to serve: it
+// stamps every record with the snapshot version and feeds the drift
+// sentinel and active-learning queue. The closure captures the snapshot,
+// not the manager's current pointer, so a request admitted under cache
+// generation G always parses with the model that generation belongs to.
+func (m *Manager) parseFuncFor(snap *Snapshot) serve.ParseFunc {
+	return func(text string) *core.ParsedRecord {
+		var rec *core.ParsedRecord
+		if m.sentinel.shouldScore() {
+			var conf float64
+			rec, conf = snap.Parser.ParseWithConfidence(text)
+			rec.ModelVersion = snap.Version
+			m.observe(snap, rec, text, conf)
+		} else {
+			rec = snap.Parser.Parse(text)
+			rec.ModelVersion = snap.Version
+		}
+		return rec
+	}
+}
+
+// observe feeds one scored parse into the sentinel and queue.
+func (m *Manager) observe(snap *Snapshot, rec *core.ParsedRecord, text string, conf float64) {
+	rate := nullOtherRate(rec)
+	m.met.driftObs.Inc()
+	m.met.confidence.Observe(conf)
+	m.met.nullRate.Observe(rate)
+
+	reg := rec.Registrar
+	if reg == "" {
+		// A degraded model often stops extracting the registrar at
+		// all; pool those under one synthetic key so the signal is
+		// not lost.
+		reg = "(unattributed)"
+	}
+	flagged, unflagged, total := m.sentinel.observe(reg, conf, rate)
+	if flagged || unflagged {
+		m.met.driftFlagged.Set(int64(total))
+		if flagged {
+			m.met.driftEvents.Inc()
+			m.log.Warn("drift flagged",
+				"registrar", reg, "model", snap.Version,
+				"conf", fmt.Sprintf("%.3f", conf), "nullrate", fmt.Sprintf("%.3f", rate))
+			if m.State() == StateServing {
+				m.setState(StateDriftFlagged)
+			}
+			if m.opts.OnDrift != nil {
+				m.opts.OnDrift(reg)
+			}
+		}
+		if unflagged {
+			m.log.Info("drift cleared", "registrar", reg)
+			if total == 0 && m.State() == StateDriftFlagged {
+				m.setState(StateServing)
+			}
+		}
+	}
+
+	if conf < m.opts.QueueThreshold {
+		domain := rec.DomainName
+		if !m.queue.add(domain, text, conf) {
+			m.met.queueDropped.Inc()
+		}
+	}
+}
+
+// Flagged returns the registrars currently past the drift threshold,
+// sorted.
+func (m *Manager) Flagged() []string {
+	fs := m.sentinel.flagged()
+	sort.Strings(fs)
+	return fs
+}
+
+// Swap publishes p as the live model: a new snapshot is built, every
+// attached server is rebound (which bumps its cache generation, so
+// stale entries from the old model stop matching), and the snapshot is
+// returned. info/path carry the artifact identity when the model came
+// from disk; pass zero values for in-memory models.
+func (m *Manager) Swap(p *core.Parser, info store.ModelInfo, path string) *Snapshot {
+	m.mu.Lock()
+	snap := m.publish(p, info, path)
+	m.mu.Unlock()
+	m.met.swaps.Inc()
+	m.log.Info("model swapped", "version", snap.Version, "seq", snap.Seq,
+		"artifact", info.String())
+	return snap
+}
+
+// publish builds, instruments, stores, and rebinds. Callers other than
+// newManager must hold m.mu.
+func (m *Manager) publish(p *core.Parser, info store.ModelInfo, path string) *Snapshot {
+	seq := m.seq.Add(1)
+	snap := &Snapshot{Parser: p, Seq: seq, Info: info, Path: path,
+		Version: versionString(seq, info)}
+	// Instrument before publication (Instrument is not safe once the
+	// parser is shared), exactly once per parser object, and only into
+	// a caller-provided registry — instrumenting into the manager's
+	// private default would silently redirect core.* metrics a daemon
+	// already wired elsewhere.
+	if m.instrument && !m.instrumented[p] {
+		p.Instrument(m.opts.Metrics)
+		m.instrumented[p] = true
+	}
+	m.cur.Store(snap)
+	m.met.modelSeq.Set(int64(seq))
+	fn := m.parseFuncFor(snap)
+	for _, ps := range m.attached {
+		ps.SetParseFunc(fn)
+	}
+	return snap
+}
+
+// ReloadFromFile loads the WMDL artifact at path and swaps it live —
+// the SIGHUP / admin-reload path. The artifact is fully validated
+// (magic, version, CRC, dimensions) before anything is published, so a
+// torn or corrupt file leaves the old model serving.
+func (m *Manager) ReloadFromFile(path string) (*Snapshot, error) {
+	info, err := store.StatModel(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := store.LoadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := m.Swap(p, info, path)
+	m.met.reloads.Inc()
+	return snap, nil
+}
+
+// versionString renders a snapshot's stamp: "m<seq>" for in-memory
+// models, "m<seq>-<crc32c>" when the artifact identity is known.
+func versionString(seq uint64, info store.ModelInfo) string {
+	if info.IsZero() {
+		return fmt.Sprintf("m%d", seq)
+	}
+	return fmt.Sprintf("m%d-%08x", seq, info.CRC32C)
+}
+
+// nullOtherRate is the fraction of a record's retained lines labeled
+// Null or Other — the block-level "the model recognized nothing here"
+// measure. An empty record counts as fully unrecognized.
+func nullOtherRate(rec *core.ParsedRecord) float64 {
+	if len(rec.Blocks) == 0 {
+		return 1
+	}
+	n := 0
+	for _, b := range rec.Blocks {
+		if b == labels.Null || b == labels.Other {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rec.Blocks))
+}

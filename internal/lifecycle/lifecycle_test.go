@@ -1,0 +1,386 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// Shared fixtures, trained once per test binary: a deliberately weak
+// "live" model (small training slice) and a strong candidate
+// warm-started from it over a much larger slice — so promotion tests
+// have real headroom instead of coin-flip ties. The weak model is built
+// separately so benchmarks (which only serve, never promote) skip the
+// expensive retrain.
+var (
+	corpusOnce sync.Once
+	fixCorpus  []*labels.LabeledRecord
+	weakOnce   sync.Once
+	fixWeak    *core.Parser
+	weakErr    error
+	strongOnce sync.Once
+	fixStrong  *core.Parser
+	strongErr  error
+)
+
+func testCorpus(t testing.TB) []*labels.LabeledRecord {
+	t.Helper()
+	corpusOnce.Do(func() {
+		fixCorpus = synth.GenerateLabeled(synth.Config{N: 420, Seed: 11})
+	})
+	return fixCorpus
+}
+
+func weakParser(t testing.TB) *core.Parser {
+	t.Helper()
+	recs := testCorpus(t)
+	weakOnce.Do(func() {
+		fixWeak, _, weakErr = core.Train(recs[:40], core.DefaultConfig())
+	})
+	if weakErr != nil {
+		t.Fatal(weakErr)
+	}
+	return fixWeak
+}
+
+func fixtures(t testing.TB) ([]*labels.LabeledRecord, *core.Parser, *core.Parser) {
+	t.Helper()
+	recs := testCorpus(t)
+	weak := weakParser(t)
+	strongOnce.Do(func() {
+		fixStrong, _, strongErr = core.Retrain(weak, recs[:300], core.DefaultConfig())
+	})
+	if strongErr != nil {
+		t.Fatal(strongErr)
+	}
+	return recs, weak, fixStrong
+}
+
+func holdoutSet(t testing.TB) []*labels.LabeledRecord {
+	recs, _, _ := fixtures(t)
+	return recs[300:]
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StateServing:      "serving",
+		StateDriftFlagged: "drift-flagged",
+		StateRetraining:   "retraining",
+		StateShadow:       "shadow",
+		State(99):         "state(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, w)
+		}
+	}
+}
+
+func TestManagerStampsVersion(t *testing.T) {
+	recs, weak, _ := fixtures(t)
+	m := New(weak, Options{})
+	snap := m.Current()
+	if snap.Seq != 1 || snap.Version != "m1" {
+		t.Fatalf("initial snapshot = seq %d version %q, want 1/m1", snap.Seq, snap.Version)
+	}
+	if got := m.State(); got != StateServing {
+		t.Fatalf("initial state = %v, want serving", got)
+	}
+	rec := m.Parse(recs[0].Text)
+	if rec.ModelVersion != "m1" {
+		t.Fatalf("ModelVersion = %q, want m1", rec.ModelVersion)
+	}
+}
+
+func TestAttachAndSwapInvalidatesCache(t *testing.T) {
+	recs, weak, strong := fixtures(t)
+	m := New(weak, Options{})
+	ps := serve.New(weak, serve.Options{Workers: 2})
+	defer ps.Close()
+	m.Attach(ps)
+
+	ctx := context.Background()
+	text := recs[0].Text
+	rec, err := ps.ParseWait(ctx, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ModelVersion != "m1" {
+		t.Fatalf("pre-swap ModelVersion = %q, want m1", rec.ModelVersion)
+	}
+	// Cache hit still carries the stamp.
+	rec, err = ps.ParseWait(ctx, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ModelVersion != "m1" {
+		t.Fatalf("cached ModelVersion = %q, want m1", rec.ModelVersion)
+	}
+
+	snap := m.Swap(strong, store.ModelInfo{}, "")
+	if snap.Seq != 2 || snap.Version != "m2" {
+		t.Fatalf("swap snapshot = seq %d version %q, want 2/m2", snap.Seq, snap.Version)
+	}
+	// The same text must re-parse under the new model — a stale cache
+	// hit would still say m1.
+	rec, err = ps.ParseWait(ctx, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ModelVersion != "m2" {
+		t.Fatalf("post-swap ModelVersion = %q, want m2 (stale cache?)", rec.ModelVersion)
+	}
+	if m.Metrics() == nil {
+		t.Fatal("Metrics() returned nil registry")
+	}
+}
+
+func TestNewFromFileAndReload(t *testing.T) {
+	recs, weak, strong := fixtures(t)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.model")
+	pathB := filepath.Join(dir, "b.model")
+	if err := store.SaveModel(weak, pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveModel(strong, pathB); err != nil {
+		t.Fatal(err)
+	}
+	infoA, err := store.StatModel(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := store.StatModel(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewFromFile(pathA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Current()
+	if want := fmt.Sprintf("m1-%08x", infoA.CRC32C); snap.Version != want {
+		t.Fatalf("version = %q, want %q", snap.Version, want)
+	}
+	if snap.Info != infoA || snap.Path != pathA {
+		t.Fatalf("snapshot identity = %+v/%q, want %+v/%q", snap.Info, snap.Path, infoA, pathA)
+	}
+	if rec := m.Parse(recs[0].Text); rec.ModelVersion != snap.Version {
+		t.Fatalf("stamp = %q, want %q", rec.ModelVersion, snap.Version)
+	}
+
+	// Operator reload swaps to the new artifact.
+	snap2, err := m.ReloadFromFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("m2-%08x", infoB.CRC32C); snap2.Version != want {
+		t.Fatalf("reloaded version = %q, want %q", snap2.Version, want)
+	}
+	if m.Current() != snap2 {
+		t.Fatal("Current() is not the reloaded snapshot")
+	}
+
+	// A corrupt artifact must be rejected with the old model untouched.
+	bad := filepath.Join(dir, "bad.model")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReloadFromFile(bad); err == nil {
+		t.Fatal("reload of junk artifact succeeded")
+	}
+	if m.Current() != snap2 {
+		t.Fatal("failed reload replaced the live snapshot")
+	}
+}
+
+// TestHotSwapUnderLoad is the end-to-end acceptance test: goroutines
+// hammer a serving layer while the manager hot-reloads models
+// underneath them. Every response must be attributable to exactly one
+// known model version, and immediately after each swap a fresh request
+// must be served by exactly the just-promoted version (no stale cache
+// hits, no torn model state). Run with -race to check the memory model
+// side.
+func TestHotSwapUnderLoad(t *testing.T) {
+	recs, weak, strong := fixtures(t)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.model")
+	pathB := filepath.Join(dir, "b.model")
+	if err := store.SaveModel(weak, pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveModel(strong, pathB); err != nil {
+		t.Fatal(err)
+	}
+	infoA, _ := store.StatModel(pathA)
+	infoB, _ := store.StatModel(pathB)
+
+	const swaps = 6
+	// The version sequence is deterministic: m1 from pathA, then
+	// alternating reloads starting with pathB.
+	valid := map[string]bool{fmt.Sprintf("m1-%08x", infoA.CRC32C): true}
+	for i := 1; i <= swaps; i++ {
+		crc := infoB.CRC32C
+		if i%2 == 0 {
+			crc = infoA.CRC32C
+		}
+		valid[fmt.Sprintf("m%d-%08x", i+1, crc)] = true
+	}
+
+	m, err := NewFromFile(pathA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := serve.New(weak, serve.Options{Workers: 4, CacheCapacity: 256})
+	defer ps.Close()
+	m.Attach(ps)
+
+	texts := make([]string, 8)
+	for i := range texts {
+		texts[i] = recs[i].Text
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	const hammers = 4
+	seen := make([]map[string]bool, hammers)
+	errs := make([]error, hammers)
+	var wg sync.WaitGroup
+	for g := 0; g < hammers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := map[string]bool{}
+			seen[g] = local
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec, err := ps.ParseWait(ctx, texts[(i+g)%len(texts)])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				local[rec.ModelVersion] = true
+			}
+		}(g)
+	}
+
+	for i := 1; i <= swaps; i++ {
+		path := pathB
+		if i%2 == 0 {
+			path = pathA
+		}
+		snap, err := m.ReloadFromFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A request admitted after the swap must be served by exactly
+		// the new version: the parse function and cache generation
+		// moved together, so neither a stale cached result nor a parse
+		// by the old model can answer it.
+		rec, err := ps.ParseWait(ctx, texts[i%len(texts)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.ModelVersion != snap.Version {
+			t.Fatalf("after swap %d: got version %q, want %q", i, rec.ModelVersion, snap.Version)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	for g := 0; g < hammers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("hammer %d: %v", g, errs[g])
+		}
+		for v := range seen[g] {
+			total++
+			if v == "" {
+				t.Fatal("response with empty ModelVersion: unattributable parse")
+			}
+			if !valid[v] {
+				t.Fatalf("response stamped with unknown version %q (torn swap?)", v)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("hammers observed no versions at all")
+	}
+	if got := m.Metrics().Counter("lifecycle.swaps").Value(); got != swaps {
+		t.Fatalf("lifecycle.swaps = %d, want %d", got, swaps)
+	}
+	if got := m.Metrics().Counter("lifecycle.reloads").Value(); got != swaps {
+		t.Fatalf("lifecycle.reloads = %d, want %d", got, swaps)
+	}
+}
+
+// TestManagerDriftLifecycle drives the sentinel through the manager's
+// observe path with synthetic observations: flag on sustained low
+// confidence, invoke OnDrift once, queue the low-confidence record,
+// then clear the flag when confidence recovers.
+func TestManagerDriftLifecycle(t *testing.T) {
+	_, weak, _ := fixtures(t)
+	var drifted []string
+	m := New(weak, Options{
+		SampleEvery: 1, Window: 8, MinWindow: 4,
+		ConfidenceFloor: 0.5,
+		OnDrift:         func(r string) { drifted = append(drifted, r) },
+	})
+	rec := &core.ParsedRecord{
+		Registrar: "Example Registrar",
+		Blocks:    []labels.Block{labels.Registrar, labels.Null},
+	}
+	for i := 0; i < 8; i++ {
+		m.observe(m.Current(), rec, "low confidence text", 0.1)
+	}
+	if got := m.State(); got != StateDriftFlagged {
+		t.Fatalf("state = %v, want drift-flagged", got)
+	}
+	if got := m.Flagged(); len(got) != 1 || got[0] != "Example Registrar" {
+		t.Fatalf("Flagged() = %v", got)
+	}
+	if len(drifted) != 1 || drifted[0] != "Example Registrar" {
+		t.Fatalf("OnDrift calls = %v, want exactly one", drifted)
+	}
+	if got := m.queue.len(); got != 1 {
+		t.Fatalf("queue holds %d entries, want 1 (deduped)", got)
+	}
+	if got := m.Metrics().Counter("lifecycle.drift.events").Value(); got != 1 {
+		t.Fatalf("drift.events = %d, want 1", got)
+	}
+
+	// Recovery: enough healthy observations flush the window.
+	for i := 0; i < 16; i++ {
+		m.observe(m.Current(), rec, "healthy text", 0.99)
+	}
+	if got := m.State(); got != StateServing {
+		t.Fatalf("state after recovery = %v, want serving", got)
+	}
+	if got := m.Flagged(); len(got) != 0 {
+		t.Fatalf("Flagged() after recovery = %v, want empty", got)
+	}
+
+	// A record the model could not attribute to a registrar pools
+	// under the synthetic key.
+	anon := &core.ParsedRecord{Blocks: []labels.Block{labels.Null}}
+	for i := 0; i < 8; i++ {
+		m.observe(m.Current(), anon, "anon text", 0.1)
+	}
+	if got := m.Flagged(); len(got) != 1 || got[0] != "(unattributed)" {
+		t.Fatalf("Flagged() = %v, want [(unattributed)]", got)
+	}
+}

@@ -1,0 +1,141 @@
+package lifecycle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/survey"
+)
+
+// alqueue is the in-memory active-learning buffer: records whose
+// minimum posterior confidence fell below the threshold, waiting to be
+// ranked and persisted for labeling (§5.3: label where the model is
+// least certain, not at random). It is bounded: when full, the *least*
+// uncertain entry is evicted, so a flood of borderline records cannot
+// push out the ones the labeler would learn most from.
+type alqueue struct {
+	threshold float64
+	cap       int
+
+	mu      sync.Mutex
+	byText  map[string]int // text → index in entries
+	entries []queueEntry
+}
+
+type queueEntry struct {
+	domain string
+	text   string
+	conf   float64
+}
+
+func newALQueue(threshold float64, capacity int) *alqueue {
+	return &alqueue{
+		threshold: threshold,
+		cap:       capacity,
+		byText:    map[string]int{},
+	}
+}
+
+// add offers one low-confidence record. Duplicate texts keep their
+// lowest observed confidence. Returns false when the record was dropped
+// (queue full of more-uncertain entries).
+func (q *alqueue) add(domain, text string, conf float64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if i, ok := q.byText[text]; ok {
+		if conf < q.entries[i].conf {
+			q.entries[i].conf = conf
+		}
+		return true
+	}
+	if len(q.entries) >= q.cap {
+		// Evict the least uncertain entry if the newcomer beats it.
+		worst, worstConf := -1, conf
+		for i := range q.entries {
+			if q.entries[i].conf > worstConf {
+				worst, worstConf = i, q.entries[i].conf
+			}
+		}
+		if worst < 0 {
+			return false
+		}
+		delete(q.byText, q.entries[worst].text)
+		last := len(q.entries) - 1
+		q.entries[worst] = q.entries[last]
+		q.byText[q.entries[worst].text] = worst
+		q.entries = q.entries[:last]
+	}
+	q.byText[text] = len(q.entries)
+	q.entries = append(q.entries, queueEntry{domain: domain, text: text, conf: conf})
+	return true
+}
+
+func (q *alqueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// drain empties the queue and returns its entries.
+func (q *alqueue) drain() []queueEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.entries
+	q.entries = nil
+	q.byText = map[string]int{}
+	return out
+}
+
+// FlushQueue ranks the queued low-confidence records by the current
+// model's uncertainty (most uncertain first, §5.3) and appends them to
+// Options.Queue in that order, so a labeler reading the log front to
+// back always sees the most informative record next. Each persisted
+// record carries the raw text, the domain (or a deterministic
+// text-hash key when the parse extracted none — the store dedupes by
+// domain), and the version of the model that was uncertain about it.
+// Returns the number of records persisted.
+func (m *Manager) FlushQueue() (int, error) {
+	if m.opts.Queue == nil {
+		return 0, nil
+	}
+	entries := m.queue.drain()
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	snap := m.cur.Load()
+	texts := make([]string, len(entries))
+	for i, e := range entries {
+		texts[i] = e.text
+	}
+	order := snap.Parser.RankByUncertainty(texts)
+	n := 0
+	for _, i := range order {
+		e := entries[i]
+		domain := e.domain
+		if domain == "" {
+			h := fnv.New32a()
+			h.Write([]byte(e.text))
+			domain = fmt.Sprintf("unlabeled-%08x", h.Sum32())
+		}
+		rec := &store.Record{
+			Domain: domain,
+			Text:   e.text,
+			Facts: survey.Facts{
+				Domain:       domain,
+				ModelVersion: snap.Version,
+			},
+		}
+		if err := m.opts.Queue.Append(rec); err != nil {
+			return n, fmt.Errorf("lifecycle: flush queue: %w", err)
+		}
+		n++
+		m.met.queuePersisted.Inc()
+	}
+	if err := m.opts.Queue.Sync(); err != nil {
+		return n, fmt.Errorf("lifecycle: flush queue: %w", err)
+	}
+	m.log.Info("labeling queue flushed", "records", n, "model", snap.Version)
+	return n, nil
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -98,10 +99,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// parseState is the unit of hot swap: the parse function and the cache
+// generation it writes under, replaced together in one atomic pointer
+// store. Admission loads the state exactly once per request, so a request
+// can never observe the new function with the old generation (or vice
+// versa) — the no-torn-model guarantee internal/lifecycle builds on.
+type parseState struct {
+	fn  ParseFunc
+	gen uint64
+}
+
 // Server is the parse-serving layer: cache + coalescing in front of a
 // bounded worker pool. Create with New or NewFunc; always Close to drain.
 type Server struct {
-	parse  ParseFunc
+	state  atomic.Pointer[parseState]
 	opts   Options
 	shards []shard
 	seed   hashSeed
@@ -125,13 +136,13 @@ func New(p *core.Parser, opts Options) *Server { return NewFunc(p.Parse, opts) }
 func NewFunc(fn ParseFunc, opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		parse:  fn,
 		opts:   o,
 		shards: make([]shard, o.Shards),
 		seed:   makeHashSeed(),
 		queue:  make(chan *call, o.QueueDepth),
 		reg:    o.Metrics,
 	}
+	s.state.Store(&parseState{fn: fn})
 	perShard := 0
 	if o.CacheCapacity > 0 {
 		perShard = o.CacheCapacity / o.Shards
@@ -156,6 +167,45 @@ func NewFunc(fn ParseFunc, opts Options) *Server {
 // via Options.Metrics, or the private one created by default.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// SetParseFunc atomically replaces the parse function and bumps the
+// cache generation in one step — the zero-downtime model swap. Requests
+// admitted before the call finish under the old function and stay cached
+// under the old generation; requests admitted after it parse with fn and
+// read/write the new generation, so no post-swap request can be answered
+// from a pre-swap cache entry. O(1): nothing is locked, swept, or freed
+// (orphaned entries age out of the LRU under normal traffic).
+func (s *Server) SetParseFunc(fn ParseFunc) {
+	for {
+		old := s.state.Load()
+		if s.state.CompareAndSwap(old, &parseState{fn: fn, gen: old.gen + 1}) {
+			break
+		}
+	}
+	s.m.invalidations.Inc()
+}
+
+// InvalidateAll bumps the cache generation without changing the parse
+// function: every cached entry becomes unreachable at once. O(1) — a
+// single atomic pointer swap, no lock sweep; the orphaned entries are
+// evicted by LRU pressure as the new generation fills in. Model swaps
+// use SetParseFunc, which invalidates and swaps atomically; InvalidateAll
+// is the standalone escape hatch (e.g. upstream corpus changed under an
+// unchanged model).
+func (s *Server) InvalidateAll() {
+	for {
+		old := s.state.Load()
+		if s.state.CompareAndSwap(old, &parseState{fn: old.fn, gen: old.gen + 1}) {
+			break
+		}
+	}
+	s.m.invalidations.Inc()
+}
+
+// Generation returns the current cache generation — incremented by every
+// SetParseFunc or InvalidateAll. Entries written under older generations
+// can no longer be returned.
+func (s *Server) Generation() uint64 { return s.state.Load().gen }
+
 // cacheEntries counts cached records across shards.
 func (s *Server) cacheEntries() int {
 	total := 0
@@ -169,8 +219,13 @@ func (s *Server) cacheEntries() int {
 }
 
 // call is one in-flight parse that any number of requests may wait on.
+// fn is the parse function captured at admission time: a swap between
+// admission and execution must not retroactively change which model a
+// request was admitted under (its cache key already carries that
+// model's generation).
 type call struct {
 	k    key
+	fn   ParseFunc
 	text string
 	done chan struct{}
 	rec  *core.ParsedRecord
@@ -255,7 +310,7 @@ func (s *Server) Preload(text string, rec *core.ParsedRecord) {
 	if rec == nil || s.opts.CacheCapacity < 0 {
 		return
 	}
-	k := s.hashKey(text)
+	k := s.hashKey(text, s.state.Load().gen)
 	sh := &s.shards[int(k.h1)&(len(s.shards)-1)]
 	sh.mu.Lock()
 	sh.add(k, rec)
@@ -266,7 +321,11 @@ func (s *Server) Preload(text string, rec *core.ParsedRecord) {
 // admit resolves a request to either a cached record, a call to wait on,
 // or an admission error. Exactly one of the three is non-zero.
 func (s *Server) admit(ctx context.Context, text string, wait bool) (*call, *core.ParsedRecord, error) {
-	k := s.hashKey(text)
+	// One state load per request: the parse function and the cache
+	// generation it belongs to are read together, so a concurrent swap
+	// cannot tear them apart.
+	st := s.state.Load()
+	k := s.hashKey(text, st.gen)
 	sh := &s.shards[int(k.h1)&(len(s.shards)-1)]
 
 	sh.mu.Lock()
@@ -280,7 +339,7 @@ func (s *Server) admit(ctx context.Context, text string, wait bool) (*call, *cor
 		s.m.coalesced.Inc()
 		return c, nil, nil
 	}
-	c := &call{k: k, text: text, done: make(chan struct{})}
+	c := &call{k: k, fn: st.fn, text: text, done: make(chan struct{})}
 	sh.inflight[k] = c
 	sh.mu.Unlock()
 
@@ -335,7 +394,7 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for c := range s.queue {
 		start := time.Now()
-		rec := s.parse(c.text)
+		rec := c.fn(c.text)
 		s.m.latency.ObserveSince(start)
 
 		c.rec = rec
@@ -373,15 +432,16 @@ func (s *Server) Close() error {
 // read back from the obs registry the hot paths record into.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Hits:         s.m.hits.Value(),
-		Misses:       s.m.misses.Value(),
-		Coalesced:    s.m.coalesced.Value(),
-		Shed:         s.m.shed.Value(),
-		Parsed:       s.m.parsed.Value(),
-		Preloads:     s.m.preloads.Value(),
-		InFlight:     int(s.m.inFlight.Value()),
-		Queued:       len(s.queue),
-		CacheEntries: s.cacheEntries(),
+		Hits:          s.m.hits.Value(),
+		Misses:        s.m.misses.Value(),
+		Coalesced:     s.m.coalesced.Value(),
+		Shed:          s.m.shed.Value(),
+		Parsed:        s.m.parsed.Value(),
+		Preloads:      s.m.preloads.Value(),
+		Invalidations: s.m.invalidations.Value(),
+		InFlight:      int(s.m.inFlight.Value()),
+		Queued:        len(s.queue),
+		CacheEntries:  s.cacheEntries(),
 	}
 	st.ParseP50 = s.m.latency.QuantileDuration(0.50)
 	st.ParseP90 = s.m.latency.QuantileDuration(0.90)

@@ -507,3 +507,79 @@ func TestPreloadDisabledCacheNoop(t *testing.T) {
 		t.Errorf("disabled cache accepted a preload: %+v", st)
 	}
 }
+
+// TestInvalidateAllForcesReparse is the staleness guarantee behind model
+// hot swaps: after a generation bump, a request for a previously-cached
+// (or preloaded) text must re-parse rather than return the old entry.
+func TestInvalidateAllForcesReparse(t *testing.T) {
+	fn, calls := countingParse()
+	s := NewFunc(fn, Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	if _, err := s.Parse(ctx, "record a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Parse(ctx, "record a"); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls("record a"); n != 1 {
+		t.Fatalf("pre-invalidate parses = %d, want 1 (second request must hit)", n)
+	}
+	// Preload simulates the store warm-start path; it must be versioned
+	// under the same generation scheme.
+	s.Preload("warm text", &core.ParsedRecord{DomainName: "warm"})
+
+	gen := s.Generation()
+	s.InvalidateAll()
+	if got := s.Generation(); got != gen+1 {
+		t.Fatalf("Generation after InvalidateAll = %d, want %d", got, gen+1)
+	}
+
+	if _, err := s.Parse(ctx, "record a"); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls("record a"); n != 2 {
+		t.Errorf("post-invalidate parses = %d, want 2 (stale entry served)", n)
+	}
+	if _, err := s.Parse(ctx, "warm text"); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls("warm text"); n != 1 {
+		t.Errorf("preloaded text parsed %d times after invalidate, want 1", n)
+	}
+	if st := s.Stats(); st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// TestSetParseFuncSwapsModelAndCache exercises the hot-swap contract:
+// the new function serves post-swap requests, and entries cached under
+// the old function are never returned afterwards.
+func TestSetParseFuncSwapsModelAndCache(t *testing.T) {
+	mk := func(version string) ParseFunc {
+		return func(text string) *core.ParsedRecord {
+			return &core.ParsedRecord{DomainName: text, ModelVersion: version}
+		}
+	}
+	s := NewFunc(mk("v1"), Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	r, err := s.Parse(ctx, "record a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModelVersion != "v1" {
+		t.Fatalf("pre-swap version = %q, want v1", r.ModelVersion)
+	}
+
+	s.SetParseFunc(mk("v2"))
+	r, err = s.Parse(ctx, "record a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModelVersion != "v2" {
+		t.Errorf("post-swap version = %q, want v2 (stale v1 entry served)", r.ModelVersion)
+	}
+}

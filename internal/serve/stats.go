@@ -14,14 +14,15 @@ import (
 // own — fixed-bucket histograms cannot report unfilled slots, and their
 // quantiles cover all traffic rather than the last N parses).
 type metrics struct {
-	hits      *obs.Counter
-	misses    *obs.Counter
-	coalesced *obs.Counter
-	shed      *obs.Counter
-	parsed    *obs.Counter
-	preloads  *obs.Counter
-	inFlight  *obs.Gauge
-	latency   *obs.Histogram
+	hits          *obs.Counter
+	misses        *obs.Counter
+	coalesced     *obs.Counter
+	shed          *obs.Counter
+	parsed        *obs.Counter
+	preloads      *obs.Counter
+	invalidations *obs.Counter
+	inFlight      *obs.Gauge
+	latency       *obs.Histogram
 }
 
 // register creates the serving metrics in reg under the serve.* names
@@ -33,6 +34,7 @@ func (m *metrics) register(reg *obs.Registry) {
 	m.shed = reg.Counter("serve.shed")
 	m.parsed = reg.Counter("serve.parsed")
 	m.preloads = reg.Counter("serve.cache.preloads")
+	m.invalidations = reg.Counter("serve.cache.invalidations")
 	m.inFlight = reg.Gauge("serve.inflight")
 	m.latency = reg.Histogram("serve.parse.seconds", obs.DurationBounds())
 }
@@ -46,6 +48,9 @@ type Stats struct {
 	Hits, Misses, Coalesced, Shed, Parsed uint64
 	// Preloads counts records injected by Preload (store warm-start).
 	Preloads uint64
+	// Invalidations counts generation bumps (SetParseFunc/InvalidateAll):
+	// each one orphans every cached entry at once.
+	Invalidations uint64
 	// InFlight is the number of admitted-but-unfinished parses, Queued
 	// how many of those are still waiting for a worker.
 	InFlight, Queued int

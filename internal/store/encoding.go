@@ -80,12 +80,15 @@ type Record struct {
 	Facts  survey.Facts
 }
 
-// Payload flag bits.
+// Payload flag bits. flagHasModelVersion gates a field appended at the
+// very end of the payload, so records written before it existed (and
+// records parsed by an unversioned model) decode unchanged.
 const (
-	flagPrivacy     = 1 << 0
-	flagBlacklisted = 1 << 1
-	flagHasParsed   = 1 << 2
-	flagHasText     = 1 << 3
+	flagPrivacy         = 1 << 0
+	flagBlacklisted     = 1 << 1
+	flagHasParsed       = 1 << 2
+	flagHasText         = 1 << 3
+	flagHasModelVersion = 1 << 4
 )
 
 // recordKind tags the payload type, leaving room for future frame kinds
@@ -116,6 +119,13 @@ func appendRecord(buf []byte, rec *Record) []byte {
 	if rec.Text != "" {
 		flags |= flagHasText
 	}
+	modelVersion := rec.Facts.ModelVersion
+	if modelVersion == "" && rec.Parsed != nil {
+		modelVersion = rec.Parsed.ModelVersion
+	}
+	if modelVersion != "" {
+		flags |= flagHasModelVersion
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, rec.Domain)
 	buf = appendString(buf, rec.Facts.Registrar)
@@ -140,6 +150,9 @@ func appendRecord(buf []byte, rec *Record) []byte {
 			buf = appendString(buf, pr.Lines[i].Raw)
 			buf = append(buf, byte(pr.Blocks[i]), byte(pr.Fields[i]))
 		}
+	}
+	if modelVersion != "" {
+		buf = appendString(buf, modelVersion)
 	}
 	return buf
 }
@@ -272,6 +285,12 @@ func decodeRecord(payload []byte) (*Record, error) {
 			pr.Fields[i] = labels.Field(fd)
 		}
 		rec.Parsed = pr
+	}
+	if flags&flagHasModelVersion != 0 {
+		rec.Facts.ModelVersion = r.str()
+		if rec.Parsed != nil {
+			rec.Parsed.ModelVersion = rec.Facts.ModelVersion
+		}
 	}
 	if r.bad {
 		return nil, fmt.Errorf("%w: truncated payload", ErrBadRecord)

@@ -44,6 +44,61 @@ var (
 	ErrModelDimensions = errors.New("store: model feature dimensions disagree with header")
 )
 
+// ModelInfo is the identity a WMDL envelope gives a trained model: the
+// artifact format version, both CRF feature-space dimensions, and the
+// payload checksum. The CRC doubles as a cheap content fingerprint — two
+// artifacts with equal CRC and dimensions are the same trained weights
+// for lifecycle purposes (hot reload logging, drift segmentation,
+// stamping crawled records with the model that parsed them).
+type ModelInfo struct {
+	FormatVersion uint16
+	BlockFeatures uint64
+	FieldFeatures uint64
+	PayloadBytes  uint64
+	CRC32C        uint32
+}
+
+// String renders the identity the way daemons log it, e.g.
+// "wmdl v1 crc32c=9a1b2c3d block=104729 field=39916".
+func (mi ModelInfo) String() string {
+	return fmt.Sprintf("wmdl v%d crc32c=%08x block=%d field=%d",
+		mi.FormatVersion, mi.CRC32C, mi.BlockFeatures, mi.FieldFeatures)
+}
+
+// IsZero reports whether the info carries no artifact identity (the
+// model never hit disk).
+func (mi ModelInfo) IsZero() bool { return mi == ModelInfo{} }
+
+// StatModel reads only the WMDL header of the artifact at path and
+// returns its identity, without decoding (or even reading) the payload.
+// Daemons call it at startup to log exactly which model they loaded, and
+// the lifecycle manager uses it to version cache entries across hot
+// reloads.
+func StatModel(path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("store: stat model: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, modelHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return ModelInfo{}, fmt.Errorf("%w: short header", ErrNotModel)
+	}
+	if [4]byte(hdr[:4]) != modelMagic {
+		return ModelInfo{}, ErrNotModel
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != modelVersion {
+		return ModelInfo{}, fmt.Errorf("%w: %d (want %d)", ErrModelVersion, v, modelVersion)
+	}
+	return ModelInfo{
+		FormatVersion: binary.LittleEndian.Uint16(hdr[4:]),
+		BlockFeatures: binary.LittleEndian.Uint64(hdr[6:]),
+		FieldFeatures: binary.LittleEndian.Uint64(hdr[14:]),
+		CRC32C:        binary.LittleEndian.Uint32(hdr[22:]),
+		PayloadBytes:  binary.LittleEndian.Uint64(hdr[26:]),
+	}, nil
+}
+
 // SaveModel writes the trained parser to path in the versioned artifact
 // format, via a temp file + rename so a crash never leaves a torn model
 // where a good one stood.

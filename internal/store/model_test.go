@@ -3,8 +3,11 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -146,5 +149,64 @@ func TestSaveModelIsAtomic(t *testing.T) {
 	}
 	if _, err := LoadModel(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStatModelMatchesArtifact(t *testing.T) {
+	p := getParser(t)
+	path := filepath.Join(t.TempDir(), "parser.model")
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := StatModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsZero() {
+		t.Fatal("StatModel returned zero identity for a real artifact")
+	}
+	if info.FormatVersion != modelVersion {
+		t.Errorf("FormatVersion = %d, want %d", info.FormatVersion, modelVersion)
+	}
+	if got, want := info.BlockFeatures, uint64(p.BlockModel().NumFeatures()); got != want {
+		t.Errorf("BlockFeatures = %d, want %d", got, want)
+	}
+	if got, want := info.FieldFeatures, uint64(p.FieldModel().NumFeatures()); got != want {
+		t.Errorf("FieldFeatures = %d, want %d", got, want)
+	}
+	// The header CRC must match a CRC computed over the payload itself.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crc32.Checksum(raw[modelHeaderLen:], castagnoli); got != info.CRC32C {
+		t.Errorf("CRC32C = %08x, payload hashes to %08x", info.CRC32C, got)
+	}
+	if info.PayloadBytes != uint64(len(raw)-modelHeaderLen) {
+		t.Errorf("PayloadBytes = %d, want %d", info.PayloadBytes, len(raw)-modelHeaderLen)
+	}
+	// Identity must be stable across stats and carry through String().
+	again, err := StatModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != info {
+		t.Errorf("StatModel not deterministic: %+v vs %+v", again, info)
+	}
+	if s := info.String(); !strings.Contains(s, "wmdl v1") || !strings.Contains(s, fmt.Sprintf("%08x", info.CRC32C)) {
+		t.Errorf("String() = %q missing version or crc", s)
+	}
+}
+
+func TestStatModelRejectsNonModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.model")
+	if err := os.WriteFile(path, []byte("plainly not a model artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatModel(path); !errors.Is(err, ErrNotModel) {
+		t.Errorf("StatModel on junk = %v, want ErrNotModel", err)
+	}
+	if _, err := StatModel(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("StatModel on missing file succeeded")
 	}
 }

@@ -505,3 +505,80 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatalf("double close: %v", err)
 	}
 }
+
+// TestRecordRoundTripModelVersion covers the flagHasModelVersion tail
+// field: stamped facts survive the round trip, the stamp mirrors into
+// the parsed record, and unstamped records keep the pre-stamp layout.
+func TestRecordRoundTripModelVersion(t *testing.T) {
+	stamped := testRecord(3)
+	stamped.Facts.ModelVersion = "m2-9a1b2c3d"
+	payload := appendRecord(nil, stamped)
+	got, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Facts.ModelVersion != "m2-9a1b2c3d" {
+		t.Errorf("Facts.ModelVersion = %q after round trip", got.Facts.ModelVersion)
+	}
+	if got.Parsed == nil || got.Parsed.ModelVersion != "m2-9a1b2c3d" {
+		t.Error("decoded parsed record not stamped with the facts' model version")
+	}
+
+	// A parsed-record stamp with unstamped facts must also survive.
+	viaParsed := testRecord(4)
+	viaParsed.Parsed.ModelVersion = "m7"
+	got, err = decodeRecord(appendRecord(nil, viaParsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Facts.ModelVersion != "m7" || got.Parsed.ModelVersion != "m7" {
+		t.Errorf("parsed-record stamp lost: facts=%q parsed=%q",
+			got.Facts.ModelVersion, got.Parsed.ModelVersion)
+	}
+
+	// Unstamped payloads must not grow the new tail field (layout parity
+	// with records written before the field existed).
+	plain := testRecord(5)
+	withStamp := testRecord(5)
+	withStamp.Facts.ModelVersion = "x"
+	if a, b := appendRecord(nil, plain), appendRecord(nil, withStamp); len(a) >= len(b) {
+		t.Errorf("unstamped payload (%d bytes) not smaller than stamped (%d)", len(a), len(b))
+	}
+	got, err = decodeRecord(appendRecord(nil, plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Facts.ModelVersion != "" {
+		t.Errorf("unstamped record decoded with ModelVersion %q", got.Facts.ModelVersion)
+	}
+}
+
+// TestSinkStampsModelVersion checks the crawl-sink satellite: when a
+// model parses records on the way into the store, every appended record
+// carries the model's version in its facts.
+func TestSinkStampsModelVersion(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sink := NewSink(st, SinkOptions{
+		Parse:        func(text string) *core.ParsedRecord { return &core.ParsedRecord{DomainName: "stamp.com"} },
+		ModelVersion: "wmdl v1 crc32c=deadbeef",
+	})
+	if err := sink.Put("stamp.com", "Reg", "Domain Name: stamp.com\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it := st.Iter()
+	defer it.Close()
+	if !it.Next() {
+		t.Fatalf("no record in store: %v", it.Err())
+	}
+	rec := it.Record()
+	if rec.Facts.ModelVersion != "wmdl v1 crc32c=deadbeef" {
+		t.Errorf("Facts.ModelVersion = %q", rec.Facts.ModelVersion)
+	}
+}

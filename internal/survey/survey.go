@@ -24,6 +24,11 @@ type Facts struct {
 	PrivacySvc  string // service name when Privacy
 	Org         string
 	Blacklisted bool // supplied externally (DBL membership)
+	// ModelVersion identifies the parser model that produced these facts
+	// ("" when unparsed or parsed before model stamping existed). Formats
+	// drift and models are retrained mid-corpus, so drift analysis must
+	// be able to segment facts by the model that extracted them.
+	ModelVersion string
 }
 
 // privacyKeywords is the "small set of keywords" of §6.3 matched against
@@ -117,10 +122,11 @@ func isDigit(b byte) bool { return b >= '0' && b <= '9' }
 // bit comes from the DBL feed, not from the record.
 func FactsFrom(pr *core.ParsedRecord, blacklisted bool) Facts {
 	f := Facts{
-		Domain:      pr.DomainName,
-		Registrar:   pr.Registrar,
-		Org:         pr.Registrant.Org,
-		Blacklisted: blacklisted,
+		Domain:       pr.DomainName,
+		Registrar:    pr.Registrar,
+		Org:          pr.Registrant.Org,
+		Blacklisted:  blacklisted,
+		ModelVersion: pr.ModelVersion,
 	}
 	f.Country = CanonicalCountry(pr.Registrant.Country)
 	if t, ok := ParseDate(pr.CreatedDate); ok {
