@@ -13,10 +13,11 @@ COVER_FLOOR ?= 70
 # Packages whose coverage is gated. internal/obs is the observability
 # layer everything reports through; internal/serve is the hot serving
 # path; internal/store is the persistence layer under both;
-# internal/lifecycle owns hot reload and model promotion.
-COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle
+# internal/lifecycle owns hot reload and model promotion;
+# internal/tiered is the L0/L1 routing layer in front of the CRF.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered
 
-.PHONY: verify vet build test race bench-serve lint importcheck benchcheck cover fuzz-smoke
+.PHONY: verify vet build test race bench-serve bench-tiered lint importcheck benchcheck cover fuzz-smoke
 
 verify: vet build test race
 
@@ -30,10 +31,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
+
+bench-tiered:
+	$(GO) test -run xxx -bench 'BenchmarkTiered' -benchtime 1000x ./internal/tiered/
 
 # lint: formatting, vet, and import hygiene. Fails if any file needs
 # gofmt, if vet complains, or if an internal package imports cmd.
@@ -61,8 +65,9 @@ benchcheck:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
 	( $(GO) test -run '^$$' -bench 'BenchmarkPosterior$$|BenchmarkServeHot$$' -benchtime 200x -count 3 ./internal/serve . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkStoreAppend$$|BenchmarkStoreScan$$' -benchtime 4096x -count 3 ./internal/store && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkHotSwap$$|BenchmarkParseDuringSwap$$' -benchtime 4096x -count 3 ./internal/lifecycle ) \
-	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkHotSwap$$|BenchmarkParseDuringSwap$$' -benchtime 4096x -count 3 ./internal/lifecycle && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTiered' -benchtime 200x -count 3 ./internal/tiered ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json
 
 # fuzz-smoke: replay the checked-in seed corpora and fuzz the record
 # decoder briefly. Not part of verify; run before touching encoding.go.

@@ -1,10 +1,24 @@
 // Command benchcheck guards against performance regressions: it reads
 // `go test -bench` output on stdin, compares every measured benchmark
-// against the committed baselines in BENCH_*.json, and exits nonzero if
-// any ns/op exceeds its baseline by more than the tolerance.
+// against the committed baselines in BENCH_*.json, and exits nonzero on
+// any regression.
+//
+// Every numeric metric a benchmark reports is checked, not just ns/op:
+// allocs/op, B/op, and custom b.ReportMetric figures all compare against
+// the matching baseline field (unit names canonicalize to the JSON
+// spelling: "ns/op" → ns_op, "B/op" → b_op, "coalesced/parse" →
+// coalesced_per_parse). A baseline entry can also carry
+//
+//   - "environment_dependent": ["coalesced_per_parse", ...] — metrics
+//     whose value is a property of the runner, not the code (coalescing
+//     never triggers on a 1-CPU machine; parallel speedup needs cores).
+//     These are reported but never gate.
+//   - "ceiling": {"ns_op": 20000, "allocs_op": 40} — absolute bars with
+//     no tolerance, for acceptance criteria ("the fast path stays under
+//     20µs and 40 allocs") rather than drift detection.
 //
 // Run `-count 3` (or more) benchmarks and benchcheck keeps the minimum
-// per benchmark — the least-noisy estimate of the true cost on a shared
+// per metric — the least-noisy estimate of the true cost on a shared
 // runner. The tolerance defaults to 30% and can be widened for noisy CI
 // machines via BENCH_TOL (a fraction, e.g. "0.5").
 //
@@ -38,9 +52,9 @@ func main() {
 
 	baselineFiles := os.Args[1:]
 	if len(baselineFiles) == 0 {
-		baselineFiles = []string{"BENCH_serve.json", "BENCH_inference.json"}
+		baselineFiles = []string{"BENCH_serve.json", "BENCH_inference.json", "BENCH_tiered.json"}
 	}
-	baselines := make(map[string]float64)
+	baselines := make(map[string]*baseline)
 	for _, path := range baselineFiles {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -59,8 +73,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, regressions := compare(measured, baselines, tol)
-	if len(results) == 0 {
+	results, checked, regressions := compare(measured, baselines, tol)
+	if checked == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no measured benchmark matched a baseline — nothing was checked")
 		os.Exit(2)
 	}
@@ -71,14 +85,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s) beyond %.0f%% tolerance\n", regressions, tol*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d benchmark(s) within %.0f%% of baseline\n", len(results), tol*100)
+	fmt.Printf("benchcheck: %d metric(s) within %.0f%% of baseline\n", checked, tol*100)
 }
 
-// mergeBaselines pulls ns_op figures out of a BENCH_*.json document.
-// Two shapes exist in-tree: {"benchmarks": {name: {"ns_op": N}}} and the
-// before/after shape {"benchmarks": {name: {"after": {"ns_op": N}}}};
+// baseline is one benchmark's committed expectations.
+type baseline struct {
+	// metrics are the recorded values, keyed by canonical metric name
+	// (ns_op, allocs_op, b_op, coalesced_per_parse, ...).
+	metrics map[string]float64
+	// envDependent marks metrics that describe the runner rather than
+	// the code: reported, never gating.
+	envDependent map[string]bool
+	// ceilings are absolute no-tolerance bars per metric.
+	ceilings map[string]float64
+}
+
+// metadata fields of a baseline entry that are not comparable metrics.
+var nonMetricFields = map[string]bool{
+	"note": true, "before": true, "after": true,
+	"environment_dependent": true, "ceiling": true,
+	"speedup": true, "speedup_vs_cold": true,
+}
+
+// mergeBaselines pulls per-metric figures out of a BENCH_*.json
+// document. Two entry shapes exist in-tree: flat ({name: {"ns_op": N,
+// "allocs_op": M}}) and before/after ({name: {"after": {"ns_op": N}}});
 // "after" (the current implementation) wins when both are present.
-func mergeBaselines(dst map[string]float64, data []byte) error {
+// "environment_dependent" and "ceiling" are read from the entry's top
+// level in either shape.
+func mergeBaselines(dst map[string]*baseline, data []byte) error {
 	var doc struct {
 		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
 	}
@@ -89,50 +124,76 @@ func mergeBaselines(dst map[string]float64, data []byte) error {
 		return fmt.Errorf("no \"benchmarks\" object")
 	}
 	for name, raw := range doc.Benchmarks {
-		var entry struct {
-			NsOp  *float64 `json:"ns_op"`
-			After *struct {
-				NsOp *float64 `json:"ns_op"`
-			} `json:"after"`
-		}
-		if err := json.Unmarshal(raw, &entry); err != nil {
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		switch {
-		case entry.After != nil && entry.After.NsOp != nil:
-			dst[name] = *entry.After.NsOp
-		case entry.NsOp != nil:
-			dst[name] = *entry.NsOp
+		b := &baseline{
+			metrics:      make(map[string]float64),
+			envDependent: make(map[string]bool),
+			ceilings:     make(map[string]float64),
 		}
+		src := fields
+		if after, ok := fields["after"]; ok && string(after) != "null" {
+			var nested map[string]json.RawMessage
+			if err := json.Unmarshal(after, &nested); err != nil {
+				return fmt.Errorf("%s: after: %w", name, err)
+			}
+			src = nested
+		}
+		for key, rv := range src {
+			if nonMetricFields[key] {
+				continue
+			}
+			var v float64
+			if err := json.Unmarshal(rv, &v); err != nil {
+				continue // non-numeric annotation, not a metric
+			}
+			b.metrics[key] = v
+		}
+		if ed, ok := fields["environment_dependent"]; ok {
+			var names []string
+			if err := json.Unmarshal(ed, &names); err != nil {
+				return fmt.Errorf("%s: environment_dependent: %w", name, err)
+			}
+			for _, m := range names {
+				b.envDependent[m] = true
+			}
+		}
+		if c, ok := fields["ceiling"]; ok {
+			if err := json.Unmarshal(c, &b.ceilings); err != nil {
+				return fmt.Errorf("%s: ceiling: %w", name, err)
+			}
+		}
+		dst[name] = b
 	}
 	return nil
 }
 
-// parseBenchOutput extracts per-benchmark minimum ns/op from `go test
-// -bench` output. Benchmark names keep their sub-benchmark path but drop
-// the trailing -GOMAXPROCS suffix; with -count N the minimum of the N
-// samples is kept.
-func parseBenchOutput(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// canonicalMetric maps a `go test -bench` unit to its BENCH_*.json field
+// name: the "/op" suffix becomes "_op" ("ns/op" → ns_op, "B/op" → b_op),
+// any other "/" becomes "_per_" ("coalesced/parse" → coalesced_per_parse),
+// dashes become underscores, all lowercase.
+func canonicalMetric(unit string) string {
+	unit = strings.ToLower(unit)
+	if s, ok := strings.CutSuffix(unit, "/op"); ok {
+		unit = s + "_op"
+	}
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	return strings.ReplaceAll(unit, "-", "_")
+}
+
+// parseBenchOutput extracts per-benchmark metrics from `go test -bench`
+// output. Benchmark names keep their sub-benchmark path but drop the
+// trailing -GOMAXPROCS suffix; with -count N the minimum of the N
+// samples is kept per metric.
+func parseBenchOutput(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// "BenchmarkX-8  200  856 ns/op  ..."
+		// "BenchmarkX-8  200  856 ns/op  37 B/op  7 allocs/op  0.5 custom/unit"
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		nsIdx := -1
-		for i, f := range fields {
-			if f == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 2 {
-			continue
-		}
-		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
 			continue
 		}
 		name := fields[0]
@@ -141,17 +202,32 @@ func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		if old, ok := out[name]; !ok || ns < old {
-			out[name] = ns
+		// Everything after the iteration count is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a metric tail (e.g. a test log line)
+			}
+			metric := canonicalMetric(fields[i+1])
+			m := out[name]
+			if m == nil {
+				m = make(map[string]float64)
+				out[name] = m
+			}
+			if old, ok := m[metric]; !ok || v < old {
+				m[metric] = v
+			}
 		}
 	}
 	return out, sc.Err()
 }
 
-// compare lines up measured minima against baselines. Benchmarks with no
-// baseline are skipped (new benchmarks are not regressions); baselines
-// with no measurement are skipped too (the caller picks the -bench set).
-func compare(measured, baselines map[string]float64, tol float64) (lines []string, regressions int) {
+// compare lines up measured minima against baselines, metric by metric.
+// Benchmarks or metrics with no baseline are skipped (new measurements
+// are not regressions); baselines with no measurement are skipped too
+// (the caller picks the -bench set). Environment-dependent metrics are
+// reported but never gate; ceiling metrics gate absolutely.
+func compare(measured map[string]map[string]float64, baselines map[string]*baseline, tol float64) (lines []string, checked, regressions int) {
 	names := make([]string, 0, len(measured))
 	for name := range measured {
 		if _, ok := baselines[name]; ok {
@@ -160,15 +236,48 @@ func compare(measured, baselines map[string]float64, tol float64) (lines []strin
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		got, want := measured[name], baselines[name]
-		ratio := got / want
-		status := "ok"
-		if got > want*(1+tol) {
-			status = "REGRESSION"
-			regressions++
+		base := baselines[name]
+		metrics := make([]string, 0, len(measured[name]))
+		for metric := range measured[name] {
+			_, hasBase := base.metrics[metric]
+			_, hasCeil := base.ceilings[metric]
+			if hasBase || hasCeil {
+				metrics = append(metrics, metric)
+			}
 		}
-		lines = append(lines, fmt.Sprintf("%-40s baseline %12.0f ns/op, measured %12.0f ns/op (%+.1f%%)  %s",
-			name, want, got, (ratio-1)*100, status))
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			got := measured[name][metric]
+			id := fmt.Sprintf("%s %s", name, metric)
+			if base.envDependent[metric] {
+				lines = append(lines, fmt.Sprintf("%-56s measured %12.2f  skipped (environment-dependent)", id, got))
+				continue
+			}
+			if ceil, ok := base.ceilings[metric]; ok {
+				status := "ok"
+				if got > ceil {
+					status = "REGRESSION"
+					regressions++
+				}
+				checked++
+				lines = append(lines, fmt.Sprintf("%-56s ceiling  %12.4g, measured %12.4g           %s", id, ceil, got, status))
+			}
+			want, ok := base.metrics[metric]
+			if !ok {
+				continue // ceiling-only metric
+			}
+			status := "ok"
+			if got > want*(1+tol) {
+				status = "REGRESSION"
+				regressions++
+			}
+			checked++
+			delta := 0.0
+			if want != 0 {
+				delta = (got/want - 1) * 100
+			}
+			lines = append(lines, fmt.Sprintf("%-56s baseline %12.2f, measured %12.2f (%+.1f%%)  %s", id, want, got, delta, status))
+		}
 	}
-	return lines, regressions
+	return lines, checked, regressions
 }

@@ -14,6 +14,7 @@ BenchmarkServeHot-4        	     200	       850 ns/op	       0 B/op	       0 all
 BenchmarkServeHot-4        	     200	      1100 ns/op	       0 B/op	       0 allocs/op
 BenchmarkPosterior-4       	     200	     27000 ns/op
 BenchmarkParseAllWorkers/4-4	      10	  27000000 ns/op
+BenchmarkServeCoalesced-4  	      50	    990000 ns/op	         3.50 coalesced/parse	         8.00 requests/op	  256892 B/op	    5719 allocs/op
 PASS
 ok  	repro/internal/serve	1.234s
 `
@@ -23,61 +24,114 @@ func TestParseBenchOutputKeepsMinAndStripsProcSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkServeHot"] != 850 {
-		t.Errorf("ServeHot = %v, want min sample 850", got["BenchmarkServeHot"])
+	if got["BenchmarkServeHot"]["ns_op"] != 850 {
+		t.Errorf("ServeHot ns_op = %v, want min sample 850", got["BenchmarkServeHot"])
 	}
-	if got["BenchmarkPosterior"] != 27000 {
+	if got["BenchmarkServeHot"]["allocs_op"] != 0 || got["BenchmarkServeHot"]["b_op"] != 0 {
+		t.Errorf("ServeHot allocs/bytes: %v", got["BenchmarkServeHot"])
+	}
+	if got["BenchmarkPosterior"]["ns_op"] != 27000 {
 		t.Errorf("Posterior = %v", got["BenchmarkPosterior"])
 	}
 	// Sub-benchmark path survives; only the -GOMAXPROCS suffix is cut.
-	if got["BenchmarkParseAllWorkers/4"] != 27000000 {
+	if got["BenchmarkParseAllWorkers/4"]["ns_op"] != 27000000 {
 		t.Errorf("sub-benchmark: %v", got)
+	}
+	// Custom ReportMetric units canonicalize to the JSON field spelling.
+	co := got["BenchmarkServeCoalesced"]
+	if co["coalesced_per_parse"] != 3.5 || co["requests_op"] != 8 {
+		t.Errorf("custom metrics: %v", co)
+	}
+}
+
+func TestCanonicalMetric(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":           "ns_op",
+		"B/op":            "b_op",
+		"allocs/op":       "allocs_op",
+		"requests/op":     "requests_op",
+		"coalesced/parse": "coalesced_per_parse",
+		"deft-coverage":   "deft_coverage",
+	}
+	for unit, want := range cases {
+		if got := canonicalMetric(unit); got != want {
+			t.Errorf("canonicalMetric(%q) = %q, want %q", unit, got, want)
+		}
 	}
 }
 
 func TestMergeBaselinesBothShapes(t *testing.T) {
-	dst := make(map[string]float64)
-	flat := `{"benchmarks": {"BenchmarkServeHot": {"ns_op": 856, "allocs_op": 0}}}`
+	dst := make(map[string]*baseline)
+	flat := `{"benchmarks": {"BenchmarkServeHot": {"ns_op": 856, "allocs_op": 0, "note": "x"}}}`
 	nested := `{"benchmarks": {
 		"BenchmarkPosterior": {"before": null, "after": {"ns_op": 26106}},
-		"BenchmarkDecodeRecord": {"before": {"ns_op": 13775}, "after": {"ns_op": 2231}}}}`
+		"BenchmarkDecodeRecord": {"before": {"ns_op": 13775}, "after": {"ns_op": 2231, "allocs_op": 1}}}}`
 	if err := mergeBaselines(dst, []byte(flat)); err != nil {
 		t.Fatal(err)
 	}
 	if err := mergeBaselines(dst, []byte(nested)); err != nil {
 		t.Fatal(err)
 	}
-	if dst["BenchmarkServeHot"] != 856 {
-		t.Errorf("flat shape: %v", dst)
+	if dst["BenchmarkServeHot"].metrics["ns_op"] != 856 {
+		t.Errorf("flat shape: %v", dst["BenchmarkServeHot"].metrics)
 	}
-	if dst["BenchmarkPosterior"] != 26106 {
-		t.Errorf("after-only shape: %v", dst)
+	if _, ok := dst["BenchmarkServeHot"].metrics["note"]; ok {
+		t.Error("note treated as a metric")
 	}
-	if dst["BenchmarkDecodeRecord"] != 2231 {
-		t.Errorf("before/after shape must prefer after: %v", dst)
+	if dst["BenchmarkPosterior"].metrics["ns_op"] != 26106 {
+		t.Errorf("after-only shape: %v", dst["BenchmarkPosterior"].metrics)
+	}
+	m := dst["BenchmarkDecodeRecord"].metrics
+	if m["ns_op"] != 2231 || m["allocs_op"] != 1 {
+		t.Errorf("before/after shape must prefer after: %v", m)
+	}
+}
+
+func TestMergeBaselinesEnvDependentAndCeiling(t *testing.T) {
+	dst := make(map[string]*baseline)
+	doc := `{"benchmarks": {
+		"BenchmarkServeCoalesced": {
+			"ns_op": 974646, "coalesced_per_parse": 0,
+			"environment_dependent": ["coalesced_per_parse"]},
+		"BenchmarkTieredHead": {
+			"ns_op": 12000, "allocs_op": 30,
+			"ceiling": {"ns_op": 20000, "allocs_op": 40}}}}`
+	if err := mergeBaselines(dst, []byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	co := dst["BenchmarkServeCoalesced"]
+	if !co.envDependent["coalesced_per_parse"] || co.envDependent["ns_op"] {
+		t.Errorf("environment_dependent: %v", co.envDependent)
+	}
+	if _, ok := co.metrics["environment_dependent"]; ok {
+		t.Error("environment_dependent list leaked into metrics")
+	}
+	th := dst["BenchmarkTieredHead"]
+	if th.ceilings["ns_op"] != 20000 || th.ceilings["allocs_op"] != 40 {
+		t.Errorf("ceilings: %v", th.ceilings)
 	}
 }
 
 func TestMergeBaselinesRejectsMissingBenchmarks(t *testing.T) {
-	if err := mergeBaselines(map[string]float64{}, []byte(`{"description": "x"}`)); err == nil {
+	if err := mergeBaselines(map[string]*baseline{}, []byte(`{"description": "x"}`)); err == nil {
 		t.Error("want error for document without benchmarks object")
 	}
 }
 
 func TestCompareFlagsRegressions(t *testing.T) {
-	measured := map[string]float64{
-		"BenchmarkServeHot":  900,   // +5% of 856: ok at 30%
-		"BenchmarkPosterior": 40000, // +53% of 26106: regression
-		"BenchmarkNew":       1,     // no baseline: skipped
+	measured := map[string]map[string]float64{
+		"BenchmarkServeHot":  {"ns_op": 900},   // +5% of 856: ok at 30%
+		"BenchmarkPosterior": {"ns_op": 40000}, // +53% of 26106: regression
+		"BenchmarkNew":       {"ns_op": 1},     // no baseline: skipped
 	}
-	baselines := map[string]float64{
-		"BenchmarkServeHot":  856,
-		"BenchmarkPosterior": 26106,
-		"BenchmarkUnrun":     123, // not measured: skipped
+	baselines := map[string]*baseline{
+		"BenchmarkServeHot":  {metrics: map[string]float64{"ns_op": 856}},
+		"BenchmarkPosterior": {metrics: map[string]float64{"ns_op": 26106}},
+		"BenchmarkUnrun":     {metrics: map[string]float64{"ns_op": 123}}, // not measured: skipped
 	}
-	lines, regressions := compare(measured, baselines, 0.30)
-	if len(lines) != 2 {
-		t.Fatalf("lines = %d, want 2 (skip unmatched both ways): %v", len(lines), lines)
+	lines, checked, regressions := compare(measured, baselines, 0.30)
+	if len(lines) != 2 || checked != 2 {
+		t.Fatalf("lines = %d checked = %d, want 2 (skip unmatched both ways): %v", len(lines), checked, lines)
 	}
 	if regressions != 1 {
 		t.Errorf("regressions = %d, want 1", regressions)
@@ -91,8 +145,86 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 
 	// A faster run is never a regression.
-	_, n := compare(map[string]float64{"BenchmarkServeHot": 400}, baselines, 0.30)
+	_, _, n := compare(map[string]map[string]float64{"BenchmarkServeHot": {"ns_op": 400}}, baselines, 0.30)
 	if n != 0 {
 		t.Errorf("speedup counted as regression")
+	}
+}
+
+func TestCompareChecksEveryMetric(t *testing.T) {
+	measured := map[string]map[string]float64{
+		"BenchmarkX": {"ns_op": 1000, "allocs_op": 99, "b_op": 500},
+	}
+	baselines := map[string]*baseline{
+		"BenchmarkX": {metrics: map[string]float64{"ns_op": 1000, "allocs_op": 10}},
+	}
+	lines, checked, regressions := compare(measured, baselines, 0.30)
+	// b_op has no baseline → skipped; allocs_op regressed 10 → 99.
+	if checked != 2 {
+		t.Fatalf("checked = %d, want 2: %v", checked, lines)
+	}
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (allocs_op): %v", regressions, lines)
+	}
+}
+
+func TestCompareSkipsEnvironmentDependent(t *testing.T) {
+	measured := map[string]map[string]float64{
+		// On a multi-core runner coalescing triggers, so the measured
+		// value dwarfs the 1-CPU baseline of 0 — still not a regression.
+		"BenchmarkServeCoalesced": {"ns_op": 900000, "coalesced_per_parse": 7},
+	}
+	baselines := map[string]*baseline{
+		"BenchmarkServeCoalesced": {
+			metrics:      map[string]float64{"ns_op": 974646, "coalesced_per_parse": 0},
+			envDependent: map[string]bool{"coalesced_per_parse": true},
+		},
+	}
+	lines, checked, regressions := compare(measured, baselines, 0.30)
+	if regressions != 0 {
+		t.Fatalf("environment-dependent metric gated: %v", lines)
+	}
+	if checked != 1 {
+		t.Errorf("checked = %d, want 1 (ns_op only)", checked)
+	}
+	var skipped bool
+	for _, l := range lines {
+		if strings.Contains(l, "coalesced_per_parse") && strings.Contains(l, "skipped") {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Errorf("no skip line for the environment-dependent metric: %v", lines)
+	}
+}
+
+func TestCompareEnforcesCeilings(t *testing.T) {
+	baselines := map[string]*baseline{
+		"BenchmarkTieredHead": {
+			metrics:  map[string]float64{"ns_op": 12000, "allocs_op": 30},
+			ceilings: map[string]float64{"ns_op": 20000, "allocs_op": 40},
+		},
+	}
+	// Within tolerance of baseline AND under the ceilings: clean.
+	_, _, n := compare(map[string]map[string]float64{
+		"BenchmarkTieredHead": {"ns_op": 13000, "allocs_op": 32},
+	}, baselines, 0.30)
+	if n != 0 {
+		t.Fatalf("clean run flagged: %d regressions", n)
+	}
+	// 19µs is within the 20µs ceiling but +58% over baseline: the drift
+	// gate still fires even where the absolute bar would not.
+	_, _, n = compare(map[string]map[string]float64{
+		"BenchmarkTieredHead": {"ns_op": 19000, "allocs_op": 30},
+	}, baselines, 0.30)
+	if n != 1 {
+		t.Fatalf("tolerance gate did not fire under the ceiling: %d", n)
+	}
+	// 45 allocs busts the 40 ceiling (and the 30-baseline tolerance).
+	lines, _, n := compare(map[string]map[string]float64{
+		"BenchmarkTieredHead": {"ns_op": 12000, "allocs_op": 45},
+	}, baselines, 0.30)
+	if n != 2 {
+		t.Fatalf("ceiling + tolerance both busted, want 2 regressions, got %d: %v", n, lines)
 	}
 }

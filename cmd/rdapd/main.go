@@ -34,6 +34,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/synth"
+	"repro/internal/tiered"
 
 	whoisparse "repro"
 )
@@ -53,6 +54,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
 	lifecycleMode := flag.Bool("lifecycle", false,
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP or POST /admin/reload (requires a WMDL -model)")
+	tieredMode := flag.Bool("tiered", false,
+		"serve /parsed/ through the L0 compiled-template fast path with CRF fallback (status at /admin/tiered)")
 	flag.Parse()
 
 	// One registry shared by every layer: the RDAP handler, the
@@ -70,7 +73,21 @@ func main() {
 	// (SIGHUP, or POST /admin/reload on -debug-addr) with the serving
 	// cache invalidated in the same atomic step.
 	var mgr *lifecycle.Manager
+	var router *tiered.Router
 	if *parseMode {
+		// With -tiered, head-of-distribution registrars are served by
+		// compiled templates (L0) and everything L0 cannot vouch for —
+		// unknown registrar, template mismatch, low match confidence,
+		// demoted template — falls back to the CRF (L1). Templates come
+		// from the same labeled training distribution the default parser
+		// trains on.
+		if *tieredMode {
+			trecs := synth.GenerateLabeled(synth.Config{N: 200, Seed: *seed + 7919})
+			router = tiered.NewFromRecords(trecs, core.DefaultConfig().Tokenize,
+				tiered.Options{Metrics: reg})
+			log.Printf("tiered: %d registrar templates compiled (L0 fast path on)",
+				router.Status().Templates)
+		}
 		var p *core.Parser
 		if *lifecycleMode {
 			if *model == "" {
@@ -80,6 +97,7 @@ func main() {
 			mgr, err = lifecycle.NewFromFile(*model, lifecycle.Options{
 				Metrics: reg,
 				Log:     obs.NewLogger("lifecycle", os.Stderr),
+				Tiered:  router,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -107,6 +125,10 @@ func main() {
 		}()
 		if mgr != nil {
 			mgr.Attach(ps)
+		} else if router != nil {
+			// Without lifecycle, bind the router directly over the plain
+			// parser; the lifecycle path routes via Options.Tiered.
+			ps.SetParseFunc(router.Bind(p.Parse))
 		}
 		if *storeDir != "" {
 			// Under -lifecycle only records stamped by the exact model
@@ -141,12 +163,18 @@ func main() {
 			mux.HandleFunc("/admin/reload", adminReload(mgr, *model))
 			mux.HandleFunc("/admin/model", adminModel(mgr))
 		}
+		if router != nil {
+			mux.HandleFunc("/admin/tiered", adminTiered(router))
+		}
 		dbg := &http.Server{Handler: mux}
 		go func() { _ = dbg.Serve(dl) }()
 		defer dbg.Close()
 		log.Printf("debug endpoints at http://%s/debug/vars and /debug/pprof/", dl.Addr())
 		if mgr != nil {
 			log.Printf("model admin at http://%s/admin/model (POST /admin/reload to hot-swap)", dl.Addr())
+		}
+		if router != nil {
+			log.Printf("tier status at http://%s/admin/tiered", dl.Addr())
 		}
 	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
@@ -216,6 +244,16 @@ func adminModel(mgr *lifecycle.Manager) http.HandlerFunc {
 			"state":    mgr.State().String(),
 			"flagged":  mgr.Flagged(),
 		})
+	}
+}
+
+// adminTiered reports the L0 router's template and counter state: how
+// many templates compiled, which are demoted, and the per-tier serve
+// counts (also exported as tiered.* in /debug/vars).
+func adminTiered(router *tiered.Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(router.Status())
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/synth"
+	"repro/internal/tiered"
 	"repro/internal/whoisd"
 
 	whoisparse "repro"
@@ -59,6 +60,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address (empty disables)")
 	lifecycleMode := flag.Bool("lifecycle", false,
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP (requires a WMDL -model)")
+	tieredMode := flag.Bool("tiered", false,
+		"answer '--parse' via the L0 compiled-template fast path with CRF fallback (tiered.* in the stats dump)")
 	flag.Parse()
 
 	// One registry across the cluster: per-server query counters, the
@@ -73,14 +76,26 @@ func main() {
 
 	var ps *serve.Server
 	var mgr *lifecycle.Manager
+	var router *tiered.Router
 	if *parseMode {
+		// With -tiered, in-template registrars are answered by compiled
+		// templates (L0); everything else — unknown registrar, mismatch,
+		// low confidence, demoted — falls back to the CRF (L1). Per-tier
+		// counters land in the shared registry and the shutdown dump.
+		if *tieredMode {
+			trecs := synth.GenerateLabeled(synth.Config{N: 200, Seed: *seed + 7919})
+			router = tiered.NewFromRecords(trecs, core.DefaultConfig().Tokenize,
+				tiered.Options{Metrics: reg})
+			log.Printf("tiered: %d registrar templates compiled (L0 fast path on)",
+				router.Status().Templates)
+		}
 		var p *core.Parser
 		if *lifecycleMode {
 			if *model == "" {
 				log.Fatal("-lifecycle requires -model (a WMDL artifact to reload from)")
 			}
 			var err error
-			mgr, err = lifecycle.NewFromFile(*model, lifecycle.Options{Metrics: reg, Log: logger})
+			mgr, err = lifecycle.NewFromFile(*model, lifecycle.Options{Metrics: reg, Log: logger, Tiered: router})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -103,6 +118,8 @@ func main() {
 		}()
 		if mgr != nil {
 			mgr.Attach(ps)
+		} else if router != nil {
+			ps.SetParseFunc(router.Bind(p.Parse))
 		}
 		log.Printf("parse mode on: try '--parse <domain>' against any server")
 	}
@@ -167,6 +184,11 @@ func main() {
 	}
 	<-sig
 	log.Printf("shutting down")
+	if router != nil {
+		st := router.Status()
+		log.Printf("tiered: %d templates (%d demoted), l0 hits %d, demoted serves %d, l1 fallbacks %d",
+			st.Templates, len(st.Demoted), st.L0Hits, st.L0Demoted, st.L1Fallbacks)
+	}
 	dumpStats(reg)
 }
 

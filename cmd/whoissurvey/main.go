@@ -28,11 +28,13 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/survey"
 	"repro/internal/synth"
+	"repro/internal/tiered"
 
 	whoisparse "repro"
 )
@@ -49,6 +51,8 @@ func main() {
 	storeDir := flag.String("store", "", "stream the survey from this record store directory (no parsing; -model unused)")
 	storeOut := flag.String("store-out", "", "also persist every parsed record into this store directory")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address while the survey runs (empty disables)")
+	tieredMode := flag.Bool("tiered", false,
+		"parse via the L0 compiled-template fast path with CRF fallback (tiered.* in the final stats dump)")
 	flag.Parse()
 
 	// One registry for the whole run: CRF decode latency, parse-serving
@@ -100,6 +104,16 @@ func main() {
 	// (registrars reuse templates, so real crawls repeat themselves).
 	ps := serve.New(p, serve.Options{Workers: *workers, CacheCapacity: 1 << 15, Metrics: reg})
 	defer ps.Close()
+	// With -tiered, registrars whose format the template tier knows are
+	// parsed by L0 at template speed; the CRF only runs on the tail. The
+	// tiered.* counters report the head/tail split in the final stats dump.
+	var router *tiered.Router
+	if *tieredMode {
+		trecs := synth.GenerateLabeled(synth.Config{N: 200, Seed: *seed + 7919})
+		router = tiered.NewFromRecords(trecs, core.DefaultConfig().Tokenize, tiered.Options{Metrics: reg})
+		ps.SetParseFunc(router.Bind(p.Parse))
+		log.Printf("tiered: %d registrar templates compiled (L0 fast path on)", router.Status().Templates)
+	}
 	parseAll := func(texts []string) []*whoisparse.ParsedRecord {
 		out, err := ps.ParseBatch(context.Background(), texts)
 		if err != nil {
@@ -183,6 +197,11 @@ func main() {
 
 	log.Printf("surveying %d parsed records", s.Len())
 	log.Printf("parse serving: %s", ps.Stats())
+	if router != nil {
+		st := router.Status()
+		log.Printf("tiered: %d templates (%d demoted), l0 hits %d, demoted serves %d, l1 fallbacks %d",
+			st.Templates, len(st.Demoted), st.L0Hits, st.L0Demoted, st.L1Fallbacks)
+	}
 	renderSurvey(os.Stdout, s, showBlacklist)
 }
 

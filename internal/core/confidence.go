@@ -84,7 +84,7 @@ func (p *Parser) ParseWithConfidence(text string) (*ParsedRecord, float64) {
 		Blocks: blocks,
 		Fields: p.ParseFields(lines, blocks),
 	}
-	p.extract(out)
+	extract(out)
 	if p.met != nil {
 		p.met.parseSeconds.ObserveSince(start)
 		p.met.parses.Inc()

@@ -317,7 +317,24 @@ type ParsedRecord struct {
 	// parse is only interpretable alongside the model version that made
 	// it — drift analysis segments on this field.
 	ModelVersion string
+
+	// Tier records which serving tier produced this record when a tiered
+	// router (internal/tiered) stamps it: TierTemplate for the L0
+	// compiled-template fast path, TierCRF for the full lattice parse.
+	// Empty on untiered parses. Like ModelVersion, it is provenance: a
+	// record is only auditable alongside the mechanism that produced it.
+	Tier string
 }
+
+// Tier values stamped into ParsedRecord.Tier by a tiered router.
+const (
+	// TierTemplate marks a record parsed by the L0 template fast path —
+	// exact per-registrar line matching, no lattice.
+	TierTemplate = "l0"
+	// TierCRF marks a record parsed by the L1 statistical parser (this
+	// package's two-level CRF).
+	TierCRF = "l1"
+)
 
 // Clone returns a deep copy of the record, for callers that need to
 // mutate a result obtained from a shared cache.
@@ -341,7 +358,7 @@ func (p *Parser) Parse(text string) *ParsedRecord {
 		Blocks: blocks,
 		Fields: p.ParseFields(lines, blocks),
 	}
-	p.extract(out)
+	extract(out)
 	if p.met != nil {
 		p.met.parseSeconds.ObserveSince(start)
 		p.met.parses.Inc()
@@ -384,7 +401,15 @@ func (p *Parser) ParseAll(texts []string, workers int) []*ParsedRecord {
 	return out
 }
 
-func (p *Parser) extract(out *ParsedRecord) {
+// ExtractFields (re)derives the scalar summary fields — Registrant
+// contact, Registrar/URL/WhoisServer, DomainName, and the three dates —
+// from Lines, Blocks, and Fields. Parse and ParseWithConfidence call it
+// implicitly; it is exported for alternate line-label producers (the L0
+// template fast path in internal/tiered) that fill Lines/Blocks/Fields
+// without running the CRFs and need the same extraction semantics.
+func (pr *ParsedRecord) ExtractFields() { extract(pr) }
+
+func extract(out *ParsedRecord) {
 	setFirst := func(dst *string, v string) {
 		if *dst == "" && v != "" {
 			*dst = v
@@ -423,42 +448,68 @@ func (p *Parser) extract(out *ParsedRecord) {
 				setFirst(&out.Registrant.Email, val)
 			}
 		case labels.Registrar:
-			title := strings.ToLower(ln.Title)
+			title := ln.Title
 			switch {
-			case strings.Contains(title, "whois"):
+			case containsFold(title, "whois"):
 				setFirst(&out.WhoisServer, val)
-			case strings.Contains(title, "url"), strings.Contains(title, "website"),
-				strings.Contains(title, "www"):
+			case containsFold(title, "url"), containsFold(title, "website"),
+				containsFold(title, "www"):
 				setFirst(&out.RegistrarURL, val)
-			case strings.Contains(title, "iana"), strings.Contains(title, "abuse"):
+			case containsFold(title, "iana"), containsFold(title, "abuse"):
 				// Registrar metadata we do not surface as the name.
-			case strings.Contains(title, "registrar"), strings.Contains(title, "sponsor"),
-				strings.Contains(title, "registered"), strings.Contains(title, "maintained"),
-				strings.Contains(title, "reseller"), strings.Contains(title, "provided"):
+			case containsFold(title, "registrar"), containsFold(title, "sponsor"),
+				containsFold(title, "registered"), containsFold(title, "maintained"),
+				containsFold(title, "reseller"), containsFold(title, "provided"):
 				setFirst(&out.Registrar, val)
 			}
 		case labels.Domain:
-			title := strings.ToLower(ln.Title)
-			if strings.Contains(title, "domain") && strings.Contains(strings.ToLower(val), ".") {
-				setFirst(&out.DomainName, strings.ToLower(val))
+			if out.DomainName == "" && val != "" &&
+				containsFold(ln.Title, "domain") && strings.Contains(val, ".") {
+				out.DomainName = strings.ToLower(val)
 			}
 		case labels.Date:
 			if !containsYear(val) {
 				break // a date field whose value has no year is noise
 			}
-			title := strings.ToLower(ln.Title)
+			title := ln.Title
 			switch {
-			case strings.Contains(title, "creat"), strings.Contains(title, "registered"),
-				strings.Contains(title, "registration"), strings.Contains(title, "active"):
+			case containsFold(title, "creat"), containsFold(title, "registered"),
+				containsFold(title, "registration"), containsFold(title, "active"):
 				setFirst(&out.CreatedDate, val)
-			case strings.Contains(title, "updat"), strings.Contains(title, "modif"), strings.Contains(title, "changed"):
+			case containsFold(title, "updat"), containsFold(title, "modif"), containsFold(title, "changed"):
 				setFirst(&out.UpdatedDate, val)
-			case strings.Contains(title, "expir"), strings.Contains(title, "renew"),
-				strings.Contains(title, "paid"), strings.Contains(title, "valid"):
+			case containsFold(title, "expir"), containsFold(title, "renew"),
+				containsFold(title, "paid"), containsFold(title, "valid"):
 				setFirst(&out.ExpiresDate, val)
 			}
 		}
 	}
+}
+
+// containsFold reports whether s contains pat under ASCII case folding.
+// pat must already be lowercase. Titles are matched on every parse —
+// including the L0 template fast path with its tens-of-allocs budget —
+// so this replaces the strings.ToLower(title) copies the loop above used
+// to make. WHOIS titles are ASCII in practice; a non-ASCII uppercase
+// title simply fails to match, as it also failed the keyword lists here.
+func containsFold(s, pat string) bool {
+	if len(pat) > len(s) {
+		return false
+	}
+scan:
+	for i := 0; i+len(pat) <= len(s); i++ {
+		for j := 0; j < len(pat); j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != pat[j] {
+				continue scan
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // cfgDTO is the persisted subset of Config: only the fields that affect

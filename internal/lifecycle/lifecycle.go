@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/tiered"
 )
 
 // State is the lifecycle position of the serving stack. Transitions are
@@ -143,6 +144,16 @@ type Options struct {
 	// QueueCap bounds the in-memory queue; when full, the least
 	// uncertain entry is evicted first. <= 0 means 256.
 	QueueCap int
+
+	// Tiered, when non-nil, is the L0 template router the manager serves
+	// through: every parse function handed to attached servers is bound
+	// via Tiered.Bind, a registrar that trips the drift sentinel has its
+	// template demoted (the §2.3 failure mode — the template is exactly
+	// what drifted), and a promoted retrain rebuilds the template set
+	// from the candidate's training records so both tiers move together.
+	// Plain model swaps/reloads leave L0 untouched: templates derive from
+	// labeled data, not model weights.
+	Tiered *tiered.Router
 
 	// Train is the config candidates are retrained with; the zero value
 	// means core.DefaultConfig().
@@ -345,7 +356,7 @@ func (m *Manager) Parse(text string) *core.ParsedRecord {
 // not the manager's current pointer, so a request admitted under cache
 // generation G always parses with the model that generation belongs to.
 func (m *Manager) parseFuncFor(snap *Snapshot) serve.ParseFunc {
-	return func(text string) *core.ParsedRecord {
+	base := func(text string) *core.ParsedRecord {
 		var rec *core.ParsedRecord
 		if m.sentinel.shouldScore() {
 			var conf float64
@@ -358,6 +369,15 @@ func (m *Manager) parseFuncFor(snap *Snapshot) serve.ParseFunc {
 		}
 		return rec
 	}
+	if m.opts.Tiered == nil {
+		return base
+	}
+	// Route through L0. Only L1-served records reach the sentinel and
+	// queue above — which is the point: records that fall through L0
+	// (no template, mismatch, low match confidence, demoted) are exactly
+	// the ones worth scoring, and their low L1 confidence feeds the
+	// active-learning queue as before.
+	return m.opts.Tiered.Bind(base)
 }
 
 // observe feeds one scored parse into the sentinel and queue.
@@ -384,6 +404,13 @@ func (m *Manager) observe(snap *Snapshot, rec *core.ParsedRecord, text string, c
 				"conf", fmt.Sprintf("%.3f", conf), "nullrate", fmt.Sprintf("%.3f", rate))
 			if m.State() == StateServing {
 				m.setState(StateDriftFlagged)
+			}
+			if m.opts.Tiered != nil && m.opts.Tiered.Demote(reg) {
+				// The drifted registrar's template must stop serving:
+				// an exact template is the artifact drift invalidates
+				// first (§2.3). L1 takes the registrar until shadow
+				// agreement re-promotes it.
+				m.log.Warn("template demoted", "registrar", reg)
 			}
 			if m.opts.OnDrift != nil {
 				m.opts.OnDrift(reg)

@@ -131,6 +131,15 @@ func (m *Manager) Retrain(records []*labels.LabeledRecord) (RetrainResult, error
 		}
 	}
 	snap := m.Swap(cand, info, path)
+	if m.opts.Tiered != nil {
+		// The candidate's training records are the freshest labeled view
+		// of every registrar's format; recompile L0 from them so the
+		// template tier tracks the same drift the retrain just absorbed.
+		// Rebuild re-arms all templates healthy — the shadow sampler
+		// re-demotes any that still disagree with the new model.
+		m.opts.Tiered.Rebuild(records, m.opts.Train.Tokenize)
+		m.log.Info("templates rebuilt", "registrars", m.opts.Tiered.Status().Templates)
+	}
 	// The drift evidence indicted the old model; the new one starts
 	// with a clean slate.
 	m.sentinel.reset()

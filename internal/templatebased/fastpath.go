@@ -1,0 +1,277 @@
+// The compiled fast path: the same per-registrar exact templates as
+// Parser, rebuilt into a form a serving tier can afford to run on every
+// request. Compile flattens Build's output into per-registrar match
+// tables plus a registrar *detection* index (exact "Registrar: <name>"
+// lines seen in training), and Match labels a record with substring
+// operations only — no tokenize.Tokenize, no observation lists, no
+// lattice. A hit costs a few map probes per line; a miss is a bare
+// sentinel error. This is tier L0 of internal/tiered.
+package templatebased
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/labels"
+	"repro/internal/tokenize"
+)
+
+// rule is the compiled action for one known line prefix: the block label,
+// and the registrant field label applied when the line carries a value.
+type rule struct {
+	block labels.Block
+	field labels.Field
+}
+
+// compiledTemplate is one registrar's flattened match tables.
+type compiledTemplate struct {
+	registrar string                  // interned registrar key
+	title     map[string]rule         // title+separator prefix -> labels
+	raw       map[string]labels.Block // exact trimmed bare line -> block
+	headers   map[string]labels.Block // exact trimmed header -> context block
+}
+
+// Compiled is a set of compiled templates plus the registrar detection
+// index. It is immutable after Compile and safe for concurrent Match.
+type Compiled struct {
+	templates map[string]*compiledTemplate
+	// detect maps exact trimmed registrar-identity lines ("Registrar:
+	// Foo, Inc.") to their template. Lines whose text appears under two
+	// different registrars are ambiguous and removed.
+	detect map[string]*compiledTemplate
+	layout bool // whether blank-line NL markers reset header context
+}
+
+// Match is the result of a successful L0 template match. Lines carry Raw,
+// Title, Value and HasSep but no Obs (observations exist only for the
+// CRF); Blocks and Fields align with Lines exactly as Parser.ParseBlocks
+// and Parser.ParseFields would produce them.
+type Match struct {
+	Registrar string
+	Lines     []tokenize.Line
+	Blocks    []labels.Block
+	Fields    []labels.Field
+	// Confidence is the fraction of retained lines matched by an exact
+	// template entry (header, title prefix, or bare-line catalog). Lines
+	// labeled only by header-context carry — where an exact template
+	// cannot actually distinguish field content — dilute it, so
+	// bare-heavy formats route to the CRF even when they technically
+	// match.
+	Confidence float64
+}
+
+// Compile builds the fast-path matcher from labeled records, using the
+// same template induction as Build plus a registrar detection index.
+// Records whose tokenization disagrees with their labels are skipped,
+// mirroring Build.
+func Compile(records []*labels.LabeledRecord, opts tokenize.Options) *Compiled {
+	c := &Compiled{
+		templates: make(map[string]*compiledTemplate),
+		detect:    make(map[string]*compiledTemplate),
+		layout:    !opts.DisableLayout,
+	}
+	ambiguous := make(map[string]bool)
+	intern := make(map[string]string)
+	for _, rec := range records {
+		reg, ok := intern[rec.Registrar]
+		if !ok {
+			reg = rec.Registrar
+			intern[reg] = reg
+		}
+		t := c.templates[reg]
+		if t == nil {
+			t = &compiledTemplate{
+				registrar: reg,
+				title:     make(map[string]rule),
+				raw:       make(map[string]labels.Block),
+				headers:   make(map[string]labels.Block),
+			}
+			c.templates[reg] = t
+		}
+		lines := tokenize.Tokenize(rec.Text, opts)
+		if len(lines) != len(rec.Lines) {
+			continue
+		}
+		for i, ln := range lines {
+			lab := rec.Lines[i]
+			trimmed := strings.TrimSpace(ln.Raw)
+			switch {
+			case ln.HasSep && ln.Value != "":
+				t.title[linePrefix(ln)] = rule{block: lab.Block, field: lab.Field}
+				// A line that literally names the registrar identifies
+				// the template: index its exact text for detection.
+				if ln.Value == rec.Registrar && !ambiguous[trimmed] {
+					if prev, ok := c.detect[trimmed]; ok && prev != t {
+						delete(c.detect, trimmed)
+						ambiguous[trimmed] = true
+					} else {
+						c.detect[trimmed] = t
+					}
+				}
+			case isHeader(ln):
+				t.headers[trimmed] = lab.Block
+			default:
+				if lab.Block == labels.Null {
+					t.raw[trimmed] = lab.Block
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NumTemplates reports how many registrars compiled.
+func (c *Compiled) NumTemplates() int { return len(c.templates) }
+
+// HasTemplate reports whether a registrar compiled a template.
+func (c *Compiled) HasTemplate(registrar string) bool {
+	_, ok := c.templates[registrar]
+	return ok
+}
+
+// Registrars returns the compiled registrar keys, sorted — for status
+// endpoints and the tiered router's per-template state.
+func (c *Compiled) Registrars() []string {
+	out := make([]string, 0, len(c.templates))
+	for reg := range c.templates {
+		out = append(out, reg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Detect scans the record text for an exact registrar-identity line and
+// returns the owning registrar key (interned) plus the number of retained
+// lines. It returns ("", n) when no template claims the record. The scan
+// is allocation-free.
+func (c *Compiled) Detect(text string) (string, int) {
+	reg := ""
+	n := 0
+	for i := 0; i <= len(text); {
+		j := strings.IndexByte(text[i:], '\n')
+		var raw string
+		if j < 0 {
+			raw = text[i:]
+			i = len(text) + 1
+		} else {
+			raw = text[i : i+j]
+			i += j + 1
+		}
+		raw = strings.TrimRight(raw, "\r")
+		if !tokenize.HasAlnum(raw) {
+			continue
+		}
+		n++
+		if reg == "" {
+			if t, ok := c.detect[strings.TrimSpace(raw)]; ok {
+				reg = t.registrar
+			}
+		}
+	}
+	return reg, n
+}
+
+// Match labels a record against its detected template. It returns
+// ErrNoTemplate (bare, allocation-free) when no registrar-identity line is
+// recognized, and ErrMismatch when any retained line deviates from the
+// template — the same crisp failure semantics as Parser, minus the
+// wrapped detail (the caller is a router, not a human).
+//
+// On success the Match's Lines/Blocks/Fields are exactly what
+// Parser.ParseBlocks + Parser.ParseFields produce for the same record
+// under the same tokenize.Options, except Lines[i].Obs is nil.
+func (c *Compiled) Match(text string) (Match, error) {
+	reg, n := c.Detect(text)
+	if reg == "" {
+		return Match{}, ErrNoTemplate
+	}
+	t := c.templates[reg]
+	m := Match{
+		Registrar: reg,
+		Lines:     make([]tokenize.Line, 0, n),
+		Blocks:    make([]labels.Block, 0, n),
+		Fields:    make([]labels.Field, 0, n),
+	}
+	exact := 0
+	context := labels.Null
+	haveContext := false
+	pendingNL := false
+	for i := 0; i <= len(text); {
+		j := strings.IndexByte(text[i:], '\n')
+		var raw string
+		if j < 0 {
+			raw = text[i:]
+			i = len(text) + 1
+		} else {
+			raw = text[i : i+j]
+			i += j + 1
+		}
+		raw = strings.TrimRight(raw, "\r")
+		if !tokenize.HasAlnum(raw) {
+			pendingNL = true
+			continue
+		}
+		trimmed := strings.TrimSpace(raw)
+		title, value, hasSep := tokenize.SplitTitleValue(trimmed)
+		if pendingNL {
+			pendingNL = false
+			if c.layout {
+				haveContext = false
+			}
+		}
+		isHdr := (hasSep && value == "") ||
+			(strings.HasSuffix(trimmed, ":") && tokenize.CountWords(trimmed) <= 7)
+		block := labels.Null
+		field := labels.FieldOther
+		switch {
+		case isHdr:
+			if b, ok := t.headers[trimmed]; ok {
+				block = b
+				context, haveContext = b, true
+				exact++
+				break
+			}
+			if hasSep {
+				if r, ok := t.title[prefixOf(raw, title, value)]; ok {
+					block = r.block
+					if block == labels.Registrant && value != "" {
+						field = r.field
+					}
+					context, haveContext = block, true
+					exact++
+					break
+				}
+			}
+			return Match{}, ErrMismatch
+		case hasSep:
+			r, ok := t.title[prefixOf(raw, title, value)]
+			if !ok {
+				return Match{}, ErrMismatch
+			}
+			block = r.block
+			if block == labels.Registrant && value != "" {
+				field = r.field
+			}
+			exact++
+		default:
+			if b, ok := t.raw[trimmed]; ok {
+				block = b
+				haveContext = false
+				exact++
+				break
+			}
+			if !haveContext {
+				return Match{}, ErrMismatch
+			}
+			block = context
+		}
+		m.Lines = append(m.Lines, tokenize.Line{Raw: raw, Title: title, Value: value, HasSep: hasSep})
+		m.Blocks = append(m.Blocks, block)
+		m.Fields = append(m.Fields, field)
+	}
+	if len(m.Lines) == 0 {
+		return Match{}, ErrMismatch
+	}
+	m.Confidence = float64(exact) / float64(len(m.Lines))
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package templatebased
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+)
+
+// TestMatchEquivalentToParser is the contract the tiered router depends
+// on: wherever Match succeeds, its Lines/Blocks/Fields must be exactly
+// what the reference Parser produces for the same record, and wherever the
+// reference parser would fail, Match must decline rather than guess.
+func TestMatchEquivalentToParser(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 600, Seed: 41})
+	opts := tokenize.Options{}
+	p := Build(recs[:400], opts)
+	c := Compile(recs[:400], opts)
+	matched := 0
+	for _, rec := range recs[400:] {
+		m, err := c.Match(rec.Text)
+		if err != nil {
+			continue
+		}
+		matched++
+		if m.Registrar != rec.Registrar {
+			t.Fatalf("detected registrar %q, want %q", m.Registrar, rec.Registrar)
+		}
+		lines, blocks, perr := p.ParseBlocks(rec.Registrar, rec.Text)
+		if perr != nil {
+			t.Fatalf("Match succeeded but ParseBlocks failed on %s: %v", rec.Domain, perr)
+		}
+		fields, perr := p.ParseFields(rec.Registrar, lines, blocks)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if len(m.Lines) != len(lines) {
+			t.Fatalf("%s: %d lines, reference %d", rec.Domain, len(m.Lines), len(lines))
+		}
+		for i := range lines {
+			if m.Lines[i].Raw != lines[i].Raw || m.Lines[i].Title != lines[i].Title ||
+				m.Lines[i].Value != lines[i].Value || m.Lines[i].HasSep != lines[i].HasSep {
+				t.Fatalf("%s line %d: %+v, reference %+v", rec.Domain, i, m.Lines[i], lines[i])
+			}
+			if m.Blocks[i] != blocks[i] {
+				t.Fatalf("%s line %d: block %v, reference %v", rec.Domain, i, m.Blocks[i], blocks[i])
+			}
+			if m.Fields[i] != fields[i] {
+				t.Fatalf("%s line %d: field %v, reference %v", rec.Domain, i, m.Fields[i], fields[i])
+			}
+		}
+		if m.Confidence <= 0 || m.Confidence > 1 {
+			t.Fatalf("%s: confidence %v out of range", rec.Domain, m.Confidence)
+		}
+	}
+	if matched < 50 {
+		t.Fatalf("only %d test records matched; fast path not exercising head traffic", matched)
+	}
+}
+
+func TestMatchDeclinesUnknownRegistrar(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 100, Seed: 42})
+	c := Compile(recs, tokenize.Options{})
+	_, err := c.Match("Domain Name: example.com\nRegistrar: Never Seen Before LLC\n")
+	if !errors.Is(err, ErrNoTemplate) {
+		t.Errorf("got %v, want ErrNoTemplate", err)
+	}
+	if _, err := c.Match(""); !errors.Is(err, ErrNoTemplate) {
+		t.Errorf("empty record: got %v, want ErrNoTemplate", err)
+	}
+}
+
+func TestMatchDeclinesDriftedRecords(t *testing.T) {
+	snapshot := synth.GenerateLabeled(synth.Config{N: 600, Seed: 43})
+	c := Compile(snapshot, tokenize.Options{})
+	drifted := synth.GenerateLabeled(synth.Config{N: 300, Seed: 44, DriftFraction: 1.0})
+	fails, matched := 0, 0
+	for _, rec := range drifted {
+		if !c.HasTemplate(rec.Registrar) {
+			continue
+		}
+		if _, err := c.Match(rec.Text); err != nil {
+			if !errors.Is(err, ErrNoTemplate) && !errors.Is(err, ErrMismatch) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			fails++
+		} else {
+			matched++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("no drifted record was declined; fast path should fail crisply under drift")
+	}
+	_ = matched
+}
+
+func TestMatchMismatchOnMutatedTitle(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: 45})
+	c := Compile(recs, tokenize.Options{})
+	for _, rec := range recs {
+		if _, err := c.Match(rec.Text); err != nil {
+			continue
+		}
+		// Rename one titled line the template has never seen.
+		mutated := strings.Replace(rec.Text, "Domain Name:", "Domain Designation:", 1)
+		if mutated == rec.Text {
+			continue
+		}
+		if _, err := c.Match(mutated); !errors.Is(err, ErrMismatch) {
+			t.Fatalf("mutated record: got %v, want ErrMismatch", err)
+		}
+		return
+	}
+	t.Fatal("no matchable record with a Domain Name line found")
+}
+
+func TestCompiledAccessors(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 300, Seed: 46})
+	c := Compile(recs, tokenize.Options{})
+	if c.NumTemplates() == 0 {
+		t.Fatal("no templates compiled")
+	}
+	regs := c.Registrars()
+	if len(regs) != c.NumTemplates() {
+		t.Fatalf("Registrars len %d != NumTemplates %d", len(regs), c.NumTemplates())
+	}
+	for i := 1; i < len(regs); i++ {
+		if regs[i-1] >= regs[i] {
+			t.Fatal("Registrars not sorted/deduped")
+		}
+	}
+	for _, r := range regs {
+		if !c.HasTemplate(r) {
+			t.Fatalf("HasTemplate(%q) false for listed registrar", r)
+		}
+	}
+	if c.HasTemplate("nobody at all") {
+		t.Fatal("HasTemplate true for unknown registrar")
+	}
+}
+
+// TestMatchAllocs keeps the fast path honest: a successful match should
+// cost only the three result slices plus tokenizer-incidental slack — far
+// under the tiered router's 40 allocs/op budget.
+func TestMatchAllocs(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 200, Seed: 47})
+	c := Compile(recs, tokenize.Options{})
+	var text string
+	for _, rec := range recs {
+		if _, err := c.Match(rec.Text); err == nil {
+			text = rec.Text
+			break
+		}
+	}
+	if text == "" {
+		t.Fatal("no matchable record")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Match(text); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("Match allocates %.1f times per record; want <= 10", allocs)
+	}
+}
+
+func TestDetectCountsRetainedLines(t *testing.T) {
+	recs := synth.GenerateLabeled(synth.Config{N: 100, Seed: 48})
+	c := Compile(recs, tokenize.Options{})
+	for _, rec := range recs {
+		reg, n := c.Detect(rec.Text)
+		if want := len(tokenize.Tokenize(rec.Text, tokenize.Options{})); n != want {
+			t.Fatalf("%s: Detect counted %d retained lines, Tokenize %d", rec.Domain, n, want)
+		}
+		if reg != "" && reg != rec.Registrar {
+			t.Fatalf("%s: detected %q, want %q", rec.Domain, reg, rec.Registrar)
+		}
+	}
+}
+
+// Confidence should be diluted by context-carried bare lines, which an
+// exact template cannot field-label — the signal the router thresholds on.
+func TestMatchConfidenceDilutedByBareLines(t *testing.T) {
+	text := "Registrar: Acme Registrations Inc.\n" +
+		"Registrant Contact:\n" +
+		"John Smith\n" +
+		"123 Main Street\n"
+	rec := &labels.LabeledRecord{
+		Domain:    "example.com",
+		TLD:       "com",
+		Registrar: "Acme Registrations Inc.",
+		Text:      text,
+		Lines: []labels.LabeledLine{
+			{Text: "Registrar: Acme Registrations Inc.", Block: labels.Registrar, Field: labels.FieldOther},
+			{Text: "Registrant Contact:", Block: labels.Registrant, Field: labels.FieldOther},
+			{Text: "John Smith", Block: labels.Registrant, Field: labels.FieldName},
+			{Text: "123 Main Street", Block: labels.Registrant, Field: labels.FieldStreet},
+		},
+	}
+	c := Compile([]*labels.LabeledRecord{rec}, tokenize.Options{})
+	m, err := c.Match(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registrar line and header are exact; the two bare registrant lines
+	// are labeled only by header-context carry: 2 exact of 4 retained.
+	if m.Confidence != 0.5 {
+		t.Fatalf("confidence %v, want 0.5", m.Confidence)
+	}
+	// A record that is nothing but exact titled lines scores 1.
+	allTitled := "Registrar: Acme Registrations Inc.\n"
+	m, err = c.Match(allTitled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Confidence != 1 {
+		t.Fatalf("all-exact confidence %v, want 1", m.Confidence)
+	}
+}

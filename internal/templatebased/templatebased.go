@@ -37,15 +37,26 @@ type template struct {
 }
 
 // linePrefix extracts the literal title+separator prefix of a titled line.
-func linePrefix(ln tokenize.Line) string {
-	raw := strings.TrimRight(ln.Raw, " \t")
-	if ln.Value == "" {
+func linePrefix(ln tokenize.Line) string { return prefixOf(ln.Raw, ln.Title, ln.Value) }
+
+// prefixOf derives the title+separator prefix from the raw line text —
+// the template key both Build and the compiled fast path (Match) use.
+// Every return value is a substring of raw (or the already-materialized
+// title), so key derivation on the hot matching path is allocation-free
+// and needs no tokenize.Line.
+func prefixOf(raw, title, value string) string {
+	end := len(raw)
+	for end > 0 && (raw[end-1] == ' ' || raw[end-1] == '\t') {
+		end--
+	}
+	raw = raw[:end]
+	if value == "" {
 		return raw
 	}
-	if i := strings.LastIndex(raw, ln.Value); i >= 0 {
+	if i := strings.LastIndex(raw, value); i >= 0 {
 		return raw[:i]
 	}
-	return ln.Title
+	return title
 }
 
 func newTemplate() *template {
@@ -68,11 +79,20 @@ type Parser struct {
 // from the thin record; our LabeledRecord carries the same identity).
 func Build(records []*labels.LabeledRecord, opts tokenize.Options) *Parser {
 	p := &Parser{templates: make(map[string]*template), opts: opts}
+	// Registrar keys repeat once per training record; intern them so the
+	// template map, the compiled detection index, and the tiered router's
+	// per-template state all share one string instance per registrar.
+	intern := make(map[string]string)
 	for _, rec := range records {
-		t := p.templates[rec.Registrar]
+		reg, ok := intern[rec.Registrar]
+		if !ok {
+			reg = rec.Registrar
+			intern[reg] = reg
+		}
+		t := p.templates[reg]
 		if t == nil {
 			t = newTemplate()
-			p.templates[rec.Registrar] = t
+			p.templates[reg] = t
 		}
 		lines := tokenize.Tokenize(rec.Text, opts)
 		if len(lines) != len(rec.Lines) {

@@ -1,0 +1,153 @@
+package tiered
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crf"
+	"repro/internal/labels"
+	"repro/internal/optimize"
+	"repro/internal/synth"
+	"repro/internal/templatebased"
+)
+
+// The tiered benchmarks quantify the routing contract against
+// BenchmarkParseDirect in internal/serve (same corpus seed, same quick
+// training config — BENCH_serve.json holds its numbers):
+//
+//	BenchmarkTieredHead  — in-template traffic served by L0; the ≥7x win
+//	BenchmarkTieredTail  — the exact ParseDirect corpus behind a router
+//	                       that holds no templates for it, so the delta
+//	                       to BenchmarkParseDirect is pure routing
+//	                       overhead; must stay within 5%
+//	BenchmarkTieredMixed — 3:1 blend of head and drifted (§2.3) records
+//	                       through one router, the production shape
+//
+// The router runs its honest production defaults, shadow sampling
+// included: every 32nd head request also pays a full L1 parse and a
+// scalar comparison, and that cost is in the numbers.
+
+var (
+	tbSetup      sync.Once
+	tbRouted     ParseFunc
+	tbTailRouted ParseFunc
+	tbL1         ParseFunc
+	tbHead       []string
+	tbTail       []string
+	tbMixed      []string
+)
+
+func setupTiered(b *testing.B) {
+	b.Helper()
+	tbSetup.Do(func() {
+		recs := synth.GenerateLabeled(synth.Config{N: 800, Seed: 901})
+		cfg := core.DefaultConfig()
+		lbfgs := optimize.DefaultLBFGSConfig()
+		lbfgs.MaxIterations = 40
+		cfg.Train = crf.TrainConfig{LBFGS: lbfgs}
+		p, _, err := core.Train(recs[:200], cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := NewFromRecords(recs[:200], cfg.Tokenize, Options{})
+		tbRouted = r.Bind(p.Parse)
+		tbL1 = p.Parse
+
+		// Head traffic: records a healthy template serves — matched with
+		// confidence AND scalar-agreeing with the CRF, so the in-bench
+		// shadow samples never demote the template mid-run.
+		compiled := templatebased.Compile(recs[:200], cfg.Tokenize)
+		for _, rec := range recs[200:712] {
+			m, err := compiled.Match(rec.Text)
+			if err != nil || m.Confidence < 0.8 {
+				continue
+			}
+			l0 := record(&m)
+			if sameScalars(l0, p.Parse(rec.Text)) {
+				tbHead = append(tbHead, rec.Text)
+			}
+		}
+		// Tail: the same texts BenchmarkParseDirect cycles, behind a
+		// router whose only template (the hand-made acme fixture) never
+		// detects them — every request pays detection plus the full L1.
+		for _, rec := range recs[200:712] {
+			tbTail = append(tbTail, rec.Text)
+		}
+		tr := NewFromRecords([]*labels.LabeledRecord{acmeRecord("seed.com")}, cfg.Tokenize, Options{})
+		tbTailRouted = tr.Bind(p.Parse)
+
+		// Mixed: head records blended 3:1 with drifted records (§2.3)
+		// the main router declines.
+		var driftTexts []string
+		drifted := synth.GenerateLabeled(synth.Config{N: 256, Seed: 902, DriftFraction: 1.0})
+		for _, rec := range drifted {
+			if _, err := compiled.Match(rec.Text); err != nil {
+				driftTexts = append(driftTexts, rec.Text)
+			}
+		}
+		if len(tbHead) == 0 || len(driftTexts) == 0 {
+			panic("tiered bench: empty head or drift corpus")
+		}
+		for i := 0; len(tbMixed) < 512; i++ {
+			if i%4 == 3 {
+				tbMixed = append(tbMixed, driftTexts[i%len(driftTexts)])
+			} else {
+				tbMixed = append(tbMixed, tbHead[i%len(tbHead)])
+			}
+		}
+	})
+}
+
+func BenchmarkTieredHead(b *testing.B) {
+	setupTiered(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbRouted(tbHead[i%len(tbHead)])
+	}
+}
+
+func BenchmarkTieredTail(b *testing.B) {
+	setupTiered(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbTailRouted(tbTail[i%len(tbTail)])
+	}
+}
+
+func BenchmarkTieredMixed(b *testing.B) {
+	setupTiered(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbRouted(tbMixed[i%len(tbMixed)])
+	}
+}
+
+// BenchmarkTieredSpeedup is the load-robust form of the ">=7x over the
+// CRF" acceptance bar: each op runs the same head record through the
+// routed L0 path and the direct L1 parser back to back, so both sides
+// see identical machine conditions, and reports the interleaved time
+// ratio as l0_per_l1. The shared-vCPU container this repo benches on
+// throttles unpredictably (absolute ns/op swings ~1.5-2x between idle
+// runs), which absolute ceilings cannot distinguish from a real
+// regression — the within-run ratio can. BENCH_tiered.json caps it at
+// 1/7. ns/op for this benchmark is L0+L1 combined and is not gated.
+func BenchmarkTieredSpeedup(b *testing.B) {
+	setupTiered(b)
+	b.ResetTimer()
+	var l0, l1 time.Duration
+	for i := 0; i < b.N; i++ {
+		text := tbHead[i%len(tbHead)]
+		t0 := time.Now()
+		tbRouted(text)
+		l0 += time.Since(t0)
+		t0 = time.Now()
+		tbL1(text)
+		l1 += time.Since(t0)
+	}
+	b.ReportMetric(float64(l0)/float64(l1), "l0_per_l1")
+}

@@ -1,0 +1,408 @@
+// Package tiered routes parse requests between two tiers: L0, the
+// compiled template fast path (templatebased.Compiled — exact
+// per-registrar line matching, no lattice), and L1, the full two-level
+// CRF (core.Parser). The paper's template baseline (§2.3) loses to the
+// CRF only under drift; in production the head of the registrar Zipf
+// distribution is in-template almost always, so serving it from L0 cuts
+// the cold parse from ~157µs to a few µs while L1 keeps the tail and
+// every record L0 cannot vouch for.
+//
+// Routing policy, in order:
+//
+//  1. No compiled templates, no registrar detected, template mismatch,
+//     or match confidence below Options.Confidence → L1 (a "fallback").
+//  2. Template demoted (by the drift sentinel via Demote, or by shadow
+//     disagreement) → L1 serves; a sampled shadow L0 match is compared
+//     against the L1 result and PromoteAfter consecutive agreements
+//     re-promote the template.
+//  3. Healthy template → L0 serves. One in ShadowEvery hits also runs
+//     L1 and compares extracted scalar fields; a disagreement serves the
+//     L1 result (never the contested L0 one), and DemoteAfter
+//     consecutive disagreements demote the template.
+//
+// The demotion state machine is per template, so one registrar changing
+// its format (§2.3 drift) does not take the whole fast path down.
+package tiered
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/obs"
+	"repro/internal/templatebased"
+	"repro/internal/tokenize"
+)
+
+// ParseFunc matches serve.ParseFunc (an alias, so Bind results assign
+// directly into the serving layer).
+type ParseFunc = func(text string) *core.ParsedRecord
+
+// Options tunes the router. The zero value means defaults.
+type Options struct {
+	// Confidence is the minimum L0 match confidence (fraction of lines
+	// matched by an exact template entry rather than header-context
+	// carry) required to serve from L0. Default 0.8.
+	Confidence float64
+	// ShadowEvery samples one in N L0-eligible requests for a shadow
+	// parse on the other tier (L1 when healthy, L0 when demoted).
+	// Default 32.
+	ShadowEvery int
+	// DemoteAfter is the number of consecutive shadow disagreements that
+	// demote a healthy template. Default 2.
+	DemoteAfter int
+	// PromoteAfter is the number of consecutive shadow agreements that
+	// re-promote a demoted template. Default 3.
+	PromoteAfter int
+	// Metrics, when non-nil, exposes router counters and per-tier
+	// latency histograms under "tiered.*".
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Confidence <= 0 {
+		o.Confidence = 0.8
+	}
+	if o.ShadowEvery <= 0 {
+		o.ShadowEvery = 32
+	}
+	if o.DemoteAfter <= 0 {
+		o.DemoteAfter = 2
+	}
+	if o.PromoteAfter <= 0 {
+		o.PromoteAfter = 3
+	}
+	return o
+}
+
+// tmplState is the per-template health state machine.
+type tmplState struct {
+	mu       sync.Mutex
+	demoted  bool
+	disagree int // consecutive shadow disagreements while healthy
+	agree    int // consecutive shadow agreements while demoted
+}
+
+// Router routes requests between the tiers. Rebuild installs templates;
+// Bind wraps an L1 parse function. All methods are safe for concurrent
+// use with bound parse functions.
+type Router struct {
+	opts Options
+
+	mu       sync.RWMutex
+	compiled *templatebased.Compiled
+	state    map[string]*tmplState
+
+	shadowTick atomic.Uint64
+
+	// Counters are Router-owned atomics so Status works without a
+	// registry; New mirrors them into obs as GaugeFuncs when
+	// Options.Metrics is set.
+	hits          atomic.Uint64 // L0 served
+	demotedServes atomic.Uint64 // L1 served because the template is demoted
+	fallbacks     atomic.Uint64 // L1 served: no template / mismatch / low confidence
+	disagreements atomic.Uint64 // shadow comparisons that disagreed
+	demotions     atomic.Uint64
+	promotions    atomic.Uint64
+
+	l0Seconds *obs.Histogram // nil without a registry
+	l1Seconds *obs.Histogram
+}
+
+// New builds a Router with no templates installed; every request routes
+// to L1 until Rebuild is called.
+func New(opts Options) *Router {
+	r := &Router{opts: opts.withDefaults()}
+	if reg := r.opts.Metrics; reg != nil {
+		gauge := func(name string, v *atomic.Uint64) {
+			reg.GaugeFunc(name, func() float64 { return float64(v.Load()) })
+		}
+		gauge("tiered.l0.hits", &r.hits)
+		gauge("tiered.l0.demoted", &r.demotedServes)
+		gauge("tiered.l1.fallbacks", &r.fallbacks)
+		gauge("tiered.shadow.disagreements", &r.disagreements)
+		gauge("tiered.l0.demotions", &r.demotions)
+		gauge("tiered.l0.promotions", &r.promotions)
+		r.l0Seconds = reg.Histogram("tiered.l0.seconds", obs.DurationBounds())
+		r.l1Seconds = reg.Histogram("tiered.l1.seconds", obs.DurationBounds())
+	}
+	return r
+}
+
+// NewFromRecords is New + Rebuild in one call.
+func NewFromRecords(records []*labels.LabeledRecord, topts tokenize.Options, opts Options) *Router {
+	r := New(opts)
+	r.Rebuild(records, topts)
+	return r
+}
+
+// Rebuild compiles a fresh L0 template set from labeled records — the
+// same corpus a model promotion trained on, so the tiers stay coherent.
+// All templates come back healthy: demotions encode distrust of the
+// *previous* template set, and the shadow sampler re-demotes a still-bad
+// template within DemoteAfter×ShadowEvery requests.
+func (r *Router) Rebuild(records []*labels.LabeledRecord, topts tokenize.Options) {
+	c := templatebased.Compile(records, topts)
+	state := make(map[string]*tmplState, c.NumTemplates())
+	for _, reg := range c.Registrars() {
+		state[reg] = &tmplState{}
+	}
+	r.mu.Lock()
+	r.compiled = c
+	r.state = state
+	r.mu.Unlock()
+}
+
+// Demote forces a template out of service (L1 takes over) until the
+// shadow sampler re-promotes it. It reports whether the registrar had a
+// healthy template. The lifecycle drift sentinel calls this when a
+// registrar's confidence distribution degrades.
+func (r *Router) Demote(registrar string) bool {
+	r.mu.RLock()
+	st := r.state[registrar]
+	r.mu.RUnlock()
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.demoted {
+		return false
+	}
+	st.demoted = true
+	st.agree, st.disagree = 0, 0
+	r.demotions.Add(1)
+	return true
+}
+
+// Demoted reports whether a registrar's template is currently demoted.
+func (r *Router) Demoted(registrar string) bool {
+	r.mu.RLock()
+	st := r.state[registrar]
+	r.mu.RUnlock()
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.demoted
+}
+
+// Bind returns a ParseFunc that routes between L0 and the given L1
+// parser. The result stamps core.ParsedRecord.Tier on every record; l1
+// may itself stamp ModelVersion (lifecycle does), which is preserved on
+// L1-served records.
+func (r *Router) Bind(l1 ParseFunc) ParseFunc {
+	return func(text string) *core.ParsedRecord {
+		r.mu.RLock()
+		c := r.compiled
+		states := r.state
+		r.mu.RUnlock()
+		if c == nil {
+			r.fallbacks.Add(1)
+			return r.runL1(l1, text)
+		}
+		var start time.Time
+		if r.l0Seconds != nil {
+			start = time.Now()
+		}
+		m, err := c.Match(text)
+		if err != nil || m.Confidence < r.opts.Confidence {
+			r.fallbacks.Add(1)
+			return r.runL1(l1, text)
+		}
+		st := states[m.Registrar]
+		if st == nil {
+			// Unreachable by construction (state covers every compiled
+			// registrar), but a router must never panic on a race.
+			r.fallbacks.Add(1)
+			return r.runL1(l1, text)
+		}
+		if demoted(st) {
+			r.demotedServes.Add(1)
+			out := r.runL1(l1, text)
+			if r.sampleShadow() {
+				if sameScalars(record(&m), out) {
+					if r.noteAgreement(st) {
+						r.promotions.Add(1)
+					}
+				} else {
+					r.disagreements.Add(1)
+					r.resetAgreement(st)
+				}
+			}
+			return out
+		}
+		if r.sampleShadow() {
+			ref := r.runL1(l1, text)
+			out := record(&m)
+			if !sameScalars(out, ref) {
+				r.disagreements.Add(1)
+				if r.noteDisagreement(st) {
+					r.demotions.Add(1)
+				}
+				// Never serve the contested L0 record.
+				return ref
+			}
+			r.resetDisagreement(st)
+			r.hits.Add(1)
+			if r.l0Seconds != nil {
+				r.l0Seconds.ObserveSince(start)
+			}
+			return out
+		}
+		out := record(&m)
+		r.hits.Add(1)
+		if r.l0Seconds != nil {
+			r.l0Seconds.ObserveSince(start)
+		}
+		return out
+	}
+}
+
+func (r *Router) runL1(l1 ParseFunc, text string) *core.ParsedRecord {
+	var start time.Time
+	if r.l1Seconds != nil {
+		start = time.Now()
+	}
+	out := l1(text)
+	if r.l1Seconds != nil {
+		r.l1Seconds.ObserveSince(start)
+	}
+	if out != nil {
+		out.Tier = core.TierCRF
+	}
+	return out
+}
+
+// record materializes a ParsedRecord from an L0 match.
+func record(m *templatebased.Match) *core.ParsedRecord {
+	out := &core.ParsedRecord{
+		Lines:  m.Lines,
+		Blocks: m.Blocks,
+		Fields: m.Fields,
+		Tier:   core.TierTemplate,
+	}
+	out.ExtractFields()
+	return out
+}
+
+// sameScalars compares the extracted summary fields of two records — the
+// shadow agreement test. Line labels are deliberately excluded: L0 lines
+// carry no Obs and the tiers may disagree on boilerplate labels without
+// any consumer-visible effect; the scalars are what downstream (rdap,
+// whoisd, store) consume.
+func sameScalars(a, b *core.ParsedRecord) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Registrant == b.Registrant &&
+		a.Registrar == b.Registrar &&
+		a.RegistrarURL == b.RegistrarURL &&
+		a.DomainName == b.DomainName &&
+		a.WhoisServer == b.WhoisServer &&
+		a.CreatedDate == b.CreatedDate &&
+		a.UpdatedDate == b.UpdatedDate &&
+		a.ExpiresDate == b.ExpiresDate
+}
+
+func (r *Router) sampleShadow() bool {
+	return r.shadowTick.Add(1)%uint64(r.opts.ShadowEvery) == 0
+}
+
+func demoted(st *tmplState) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.demoted
+}
+
+// noteDisagreement records a healthy-path shadow disagreement and
+// reports whether it tripped a demotion.
+func (r *Router) noteDisagreement(st *tmplState) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.demoted {
+		return false
+	}
+	st.disagree++
+	if st.disagree >= r.opts.DemoteAfter {
+		st.demoted = true
+		st.disagree, st.agree = 0, 0
+		return true
+	}
+	return false
+}
+
+func (r *Router) resetDisagreement(st *tmplState) {
+	st.mu.Lock()
+	st.disagree = 0
+	st.mu.Unlock()
+}
+
+// noteAgreement records a demoted-path shadow agreement and reports
+// whether it re-promoted the template.
+func (r *Router) noteAgreement(st *tmplState) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.demoted {
+		return false
+	}
+	st.agree++
+	if st.agree >= r.opts.PromoteAfter {
+		st.demoted = false
+		st.agree, st.disagree = 0, 0
+		return true
+	}
+	return false
+}
+
+func (r *Router) resetAgreement(st *tmplState) {
+	st.mu.Lock()
+	st.agree = 0
+	st.mu.Unlock()
+}
+
+// Status is a JSON-able snapshot of router state for the daemons'
+// status endpoints.
+type Status struct {
+	Templates     int      `json:"templates"`
+	Demoted       []string `json:"demoted,omitempty"`
+	Confidence    float64  `json:"confidence_threshold"`
+	ShadowEvery   int      `json:"shadow_every"`
+	L0Hits        uint64   `json:"l0_hits"`
+	L0Demoted     uint64   `json:"l0_demoted_serves"`
+	L1Fallbacks   uint64   `json:"l1_fallbacks"`
+	Disagreements uint64   `json:"shadow_disagreements"`
+	Demotions     uint64   `json:"demotions"`
+	Promotions    uint64   `json:"promotions"`
+}
+
+// Status snapshots the router.
+func (r *Router) Status() Status {
+	s := Status{
+		Confidence:    r.opts.Confidence,
+		ShadowEvery:   r.opts.ShadowEvery,
+		L0Hits:        r.hits.Load(),
+		L0Demoted:     r.demotedServes.Load(),
+		L1Fallbacks:   r.fallbacks.Load(),
+		Disagreements: r.disagreements.Load(),
+		Demotions:     r.demotions.Load(),
+		Promotions:    r.promotions.Load(),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.compiled == nil {
+		return s
+	}
+	s.Templates = r.compiled.NumTemplates()
+	for reg, st := range r.state {
+		if demoted(st) {
+			s.Demoted = append(s.Demoted, reg)
+		}
+	}
+	sort.Strings(s.Demoted)
+	return s
+}

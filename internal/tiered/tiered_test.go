@@ -1,0 +1,351 @@
+package tiered
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+
+	"repro/internal/crf"
+	"repro/internal/optimize"
+)
+
+// --- hand-built corpus: full control over the state machine tests ---
+
+const acme = "Acme Registrations Inc."
+
+func acmeRecord(domain string) *labels.LabeledRecord {
+	text := "Domain Name: " + domain + "\n" +
+		"Registrar: " + acme + "\n" +
+		"Creation Date: 2001-02-03\n"
+	return &labels.LabeledRecord{
+		Domain:    domain,
+		TLD:       "com",
+		Registrar: acme,
+		Text:      text,
+		Lines: []labels.LabeledLine{
+			{Text: "Domain Name: " + domain, Block: labels.Domain, Field: labels.FieldOther},
+			{Text: "Registrar: " + acme, Block: labels.Registrar, Field: labels.FieldOther},
+			{Text: "Creation Date: 2001-02-03", Block: labels.Date, Field: labels.FieldOther},
+		},
+	}
+}
+
+func acmeRouter(opts Options) *Router {
+	r := New(opts)
+	r.Rebuild([]*labels.LabeledRecord{acmeRecord("seed.com")}, tokenize.Options{})
+	return r
+}
+
+// agreeingL1 mimics the CRF producing the same scalar extraction as L0.
+func agreeingL1(text string) *core.ParsedRecord {
+	m := record2(text)
+	m.Tier = ""
+	return m
+}
+
+// record2 produces the record L0 itself would emit for an acme text (or
+// an empty record when the text is out of template).
+func record2(text string) *core.ParsedRecord {
+	r := acmeRouter(Options{ShadowEvery: 1 << 30})
+	out := r.Bind(func(string) *core.ParsedRecord { return &core.ParsedRecord{} })(text)
+	return out
+}
+
+// disagreeingL1 returns different scalars than L0.
+func disagreeingL1(text string) *core.ParsedRecord {
+	out := agreeingL1(text)
+	out.DomainName = "somewhere-else.net"
+	return out
+}
+
+func TestHealthyTemplateServesL0(t *testing.T) {
+	r := acmeRouter(Options{ShadowEvery: 1 << 30})
+	routed := r.Bind(func(string) *core.ParsedRecord {
+		t.Fatal("L1 called for healthy in-template record")
+		return nil
+	})
+	out := routed(acmeRecord("a.com").Text)
+	if out.Tier != core.TierTemplate {
+		t.Fatalf("tier %q, want %q", out.Tier, core.TierTemplate)
+	}
+	if out.DomainName != "a.com" || out.Registrar != acme || out.CreatedDate != "2001-02-03" {
+		t.Fatalf("bad extraction: %+v", out)
+	}
+	if s := r.Status(); s.L0Hits != 1 || s.L1Fallbacks != 0 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestNoTemplateFallsBackToL1(t *testing.T) {
+	r := acmeRouter(Options{})
+	called := 0
+	routed := r.Bind(func(text string) *core.ParsedRecord {
+		called++
+		return &core.ParsedRecord{DomainName: "x"}
+	})
+	out := routed("Domain Name: a.com\nRegistrar: Unknown Corp\n")
+	if called != 1 || out.Tier != core.TierCRF {
+		t.Fatalf("called=%d tier=%q", called, out.Tier)
+	}
+	if s := r.Status(); s.L1Fallbacks != 1 || s.L0Hits != 0 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestEmptyRouterRoutesEverythingToL1(t *testing.T) {
+	r := New(Options{})
+	routed := r.Bind(func(string) *core.ParsedRecord { return &core.ParsedRecord{} })
+	if out := routed("anything"); out.Tier != core.TierCRF {
+		t.Fatalf("tier %q", out.Tier)
+	}
+	if s := r.Status(); s.Templates != 0 || s.L1Fallbacks != 1 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestLowConfidenceFallsBack(t *testing.T) {
+	// A record dominated by context-carried bare lines scores 2/5 < 0.8.
+	text := "Registrar: " + acme + "\n" +
+		"Registrant Contact:\n" +
+		"John Smith\n" +
+		"123 Main Street\n" +
+		"Springfield\n"
+	rec := &labels.LabeledRecord{
+		Domain: "bare.com", TLD: "com", Registrar: acme, Text: text,
+		Lines: []labels.LabeledLine{
+			{Text: "Registrar: " + acme, Block: labels.Registrar, Field: labels.FieldOther},
+			{Text: "Registrant Contact:", Block: labels.Registrant, Field: labels.FieldOther},
+			{Text: "John Smith", Block: labels.Registrant, Field: labels.FieldName},
+			{Text: "123 Main Street", Block: labels.Registrant, Field: labels.FieldStreet},
+			{Text: "Springfield", Block: labels.Registrant, Field: labels.FieldCity},
+		},
+	}
+	r := New(Options{})
+	r.Rebuild([]*labels.LabeledRecord{rec}, tokenize.Options{})
+	routed := r.Bind(func(string) *core.ParsedRecord { return &core.ParsedRecord{} })
+	if out := routed(text); out.Tier != core.TierCRF {
+		t.Fatalf("low-confidence match should fall back, got tier %q", out.Tier)
+	}
+	if s := r.Status(); s.L1Fallbacks != 1 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestDemotedTemplateNeverServes(t *testing.T) {
+	r := acmeRouter(Options{ShadowEvery: 1 << 30})
+	if !r.Demote(acme) {
+		t.Fatal("Demote returned false for known registrar")
+	}
+	if r.Demote(acme) {
+		t.Fatal("second Demote should report already-demoted")
+	}
+	if r.Demote("nobody") {
+		t.Fatal("Demote of unknown registrar should be false")
+	}
+	routed := r.Bind(agreeingL1)
+	for i := 0; i < 50; i++ {
+		if out := routed(acmeRecord("a.com").Text); out.Tier != core.TierCRF {
+			t.Fatalf("call %d: demoted template served tier %q", i, out.Tier)
+		}
+	}
+	s := r.Status()
+	if s.L0Demoted != 50 || len(s.Demoted) != 1 || s.Demoted[0] != acme {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestShadowDisagreementDemotes(t *testing.T) {
+	r := acmeRouter(Options{ShadowEvery: 1, DemoteAfter: 2})
+	routed := r.Bind(disagreeingL1)
+	text := acmeRecord("a.com").Text
+
+	// Every call shadows; each disagreement serves the L1 result.
+	out := routed(text)
+	if out.Tier != core.TierCRF || out.DomainName != "somewhere-else.net" {
+		t.Fatalf("disagreeing shadow must serve L1: %+v", out)
+	}
+	if r.Demoted(acme) {
+		t.Fatal("demoted after one disagreement; DemoteAfter=2")
+	}
+	routed(text)
+	if !r.Demoted(acme) {
+		t.Fatal("not demoted after DemoteAfter disagreements")
+	}
+	s := r.Status()
+	if s.Demotions != 1 || s.Disagreements < 2 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestShadowAgreementRepromotes(t *testing.T) {
+	r := acmeRouter(Options{ShadowEvery: 1, PromoteAfter: 3})
+	r.Demote(acme)
+	routed := r.Bind(agreeingL1)
+	text := acmeRecord("a.com").Text
+	for i := 0; i < 3; i++ {
+		if r.Demoted(acme) == false {
+			t.Fatalf("re-promoted after only %d agreements", i)
+		}
+		if out := routed(text); out.Tier != core.TierCRF {
+			t.Fatalf("demoted template served L0 during shadow: %+v", out)
+		}
+	}
+	if r.Demoted(acme) {
+		t.Fatal("not re-promoted after PromoteAfter agreements")
+	}
+	if out := routed(text); out.Tier != core.TierTemplate {
+		t.Fatalf("re-promoted template should serve L0, got %q", out.Tier)
+	}
+	if s := r.Status(); s.Promotions != 1 {
+		t.Fatalf("status %+v", s)
+	}
+}
+
+func TestAgreementResetsDisagreementStreak(t *testing.T) {
+	r := acmeRouter(Options{ShadowEvery: 1, DemoteAfter: 2})
+	text := acmeRecord("a.com").Text
+	disagree := r.Bind(disagreeingL1)
+	agree := r.Bind(agreeingL1)
+	disagree(text) // streak 1
+	agree(text)    // streak resets
+	disagree(text) // streak 1 again
+	if r.Demoted(acme) {
+		t.Fatal("non-consecutive disagreements should not demote")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(Options{Metrics: reg})
+	r.Rebuild([]*labels.LabeledRecord{acmeRecord("seed.com")}, tokenize.Options{})
+	routed := r.Bind(agreeingL1)
+	routed(acmeRecord("a.com").Text)
+	routed("Registrar: Unknown Corp\n")
+	snap := reg.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tiered.l0.hits", "tiered.l1.fallbacks", "tiered.l0.demoted"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("metric %s missing from snapshot %s", name, b)
+		}
+	}
+	if v, _ := snap["tiered.l0.hits"].(float64); v != 1 {
+		t.Fatalf("tiered.l0.hits = %v, want 1", snap["tiered.l0.hits"])
+	}
+}
+
+func TestStatusMarshalsToJSON(t *testing.T) {
+	r := acmeRouter(Options{})
+	r.Demote(acme)
+	b, err := json.Marshal(r.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["templates"].(float64) != 1 {
+		t.Fatalf("status JSON %s", b)
+	}
+}
+
+// --- differential test against the real CRF ---
+
+var fixtureOnce sync.Once
+var fixture struct {
+	recs   []*labels.LabeledRecord
+	parser *core.Parser
+}
+
+func loadFixture(t *testing.T) ([]*labels.LabeledRecord, *core.Parser) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		recs := synth.GenerateLabeled(synth.Config{N: 500, Seed: 61})
+		cfg := core.DefaultConfig()
+		lbfgs := optimize.DefaultLBFGSConfig()
+		lbfgs.MaxIterations = 40
+		cfg.Train = crf.TrainConfig{LBFGS: lbfgs}
+		p, _, err := core.Train(recs[:150], cfg)
+		if err != nil {
+			panic(err)
+		}
+		fixture.recs = recs
+		fixture.parser = p
+	})
+	return fixture.recs, fixture.parser
+}
+
+// TestDifferentialIdenticalWhereL0Declines is the satellite contract:
+// wherever the router does NOT serve L0, its output must be the CRF-only
+// output, byte for byte, apart from the tier stamp.
+func TestDifferentialIdenticalWhereL0Declines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CRF training fixture")
+	}
+	recs, p := loadFixture(t)
+	r := New(Options{ShadowEvery: 1 << 30})
+	r.Rebuild(recs[:150], core.DefaultConfig().Tokenize)
+	routed := r.Bind(p.Parse)
+	l0, l1 := 0, 0
+	for _, rec := range recs[150:] {
+		got := routed(rec.Text)
+		if got.Tier == core.TierTemplate {
+			l0++
+			continue
+		}
+		l1++
+		want := p.Parse(rec.Text)
+		want.Tier = core.TierCRF
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: routed L1 output differs from direct parse\n got %+v\nwant %+v",
+				rec.Domain, got, want)
+		}
+	}
+	if l0 == 0 {
+		t.Fatal("router never served L0 on in-distribution traffic")
+	}
+	if l1 == 0 {
+		t.Fatal("router never declined; differential test vacuous")
+	}
+	t.Logf("l0=%d l1=%d", l0, l1)
+}
+
+// TestRouterL0AgreesWithCRFOnScalars: where L0 does serve, its extracted
+// scalars should overwhelmingly agree with the CRF — the invariant the
+// shadow sampler polices in production.
+func TestRouterL0AgreesWithCRFOnScalars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CRF training fixture")
+	}
+	recs, p := loadFixture(t)
+	r := New(Options{ShadowEvery: 1 << 30})
+	r.Rebuild(recs[:150], core.DefaultConfig().Tokenize)
+	routed := r.Bind(p.Parse)
+	served, agreed := 0, 0
+	for _, rec := range recs[150:] {
+		got := routed(rec.Text)
+		if got.Tier != core.TierTemplate {
+			continue
+		}
+		served++
+		if sameScalars(got, p.Parse(rec.Text)) {
+			agreed++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no L0 serves")
+	}
+	if rate := float64(agreed) / float64(served); rate < 0.9 {
+		t.Errorf("L0/CRF scalar agreement only %.3f (%d/%d)", rate, agreed, served)
+	}
+}

@@ -261,7 +261,30 @@ func Words(text string) []string {
 	return out
 }
 
-func hasAlnum(s string) bool {
+// CountWords reports how many words Words would return without
+// allocating the slice — the hot-path form for callers (the compiled
+// template matcher) that only need the count.
+func CountWords(text string) int {
+	n := 0
+	in := false
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if !in {
+				n++
+				in = true
+			}
+		} else {
+			in = false
+		}
+	}
+	return n
+}
+
+// HasAlnum reports whether s contains at least one letter or digit —
+// the retention test Tokenize applies per line. Exported so alternate
+// line iterators (the compiled template matcher) retain exactly the
+// lines Tokenize would.
+func HasAlnum(s string) bool {
 	for _, r := range s {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
 			return true
@@ -269,6 +292,8 @@ func hasAlnum(s string) bool {
 	}
 	return false
 }
+
+func hasAlnum(s string) bool { return HasAlnum(s) }
 
 func leadingSpace(s string) int {
 	n := 0
