@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"log"
@@ -24,8 +25,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lifecycle"
@@ -56,6 +60,14 @@ func main() {
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP or POST /admin/reload (requires a WMDL -model)")
 	tieredMode := flag.Bool("tiered", false,
 		"serve /parsed/ through the L0 compiled-template fast path with CRF fallback (status at /admin/tiered)")
+	clusterListen := flag.String("cluster-listen", "",
+		"serve the shard protocol on this address and route /parsed/ through the consistent-hash ring (empty disables clustering)")
+	clusterID := flag.String("cluster-id", "",
+		"stable ring identity of this node (default: the bound -cluster-listen address)")
+	peersFlag := flag.String("peers", "",
+		"comma-separated peer shards, each id=addr (or a bare addr, doubling as the id)")
+	clusterJoin := flag.String("cluster-join", "",
+		"fetch the serving model from the shard at this address (verified by CRC32C) before admitting traffic")
 	flag.Parse()
 
 	// One registry shared by every layer: the RDAP handler, the
@@ -74,6 +86,7 @@ func main() {
 	// cache invalidated in the same atomic step.
 	var mgr *lifecycle.Manager
 	var router *tiered.Router
+	var node *cluster.Node
 	if *parseMode {
 		// With -tiered, head-of-distribution registrars are served by
 		// compiled templates (L0) and everything L0 cannot vouch for —
@@ -144,7 +157,67 @@ func main() {
 			}
 			log.Printf("warm start: preloaded %d parsed records from %s", n, *storeDir)
 		}
-		srv.EnableParsed(ps, domains)
+		if *clusterListen != "" {
+			// Cluster mode: every /parsed/ request routes through the
+			// consistent-hash ring — this node serves its own slice of the
+			// domain space and forwards the rest to the owning shard.
+			ln, err := net.Listen("tcp", *clusterListen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			id := *clusterID
+			if id == "" {
+				id = ln.Addr().String()
+			}
+			node, err = cluster.NewNode(ps, mgr, cluster.Options{
+				ID:      id,
+				Addr:    ln.Addr().String(),
+				Metrics: reg,
+				Log:     obs.NewLogger("cluster", os.Stderr),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer node.Close()
+			for _, spec := range strings.Split(*peersFlag, ",") {
+				spec = strings.TrimSpace(spec)
+				if spec == "" {
+					continue
+				}
+				pid, paddr, ok := strings.Cut(spec, "=")
+				if !ok {
+					pid, paddr = spec, spec
+				}
+				node.AddPeer(pid, cluster.DialTCP(paddr))
+			}
+			if *model != "" {
+				// Serve our on-disk artifact to joining peers.
+				data, err := os.ReadFile(*model)
+				if err != nil {
+					log.Fatal(err)
+				}
+				node.SetModelArtifact(data)
+			}
+			if *clusterJoin != "" {
+				// Join path: pull the fleet's serving model and verify its
+				// CRC before this node answers anyone.
+				jc := cluster.DialTCP(*clusterJoin)
+				jctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				version, err := node.JoinFetchModel(jctx, jc)
+				cancel()
+				jc.Close()
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("cluster: joined via %s, serving model %s", *clusterJoin, version)
+			}
+			shardSrv := cluster.ServeTCP(ln, node, obs.NewLogger("cluster", os.Stderr))
+			defer shardSrv.Close()
+			log.Printf("cluster: shard %s on %s, %d ring members", id, ln.Addr(), node.Ring().Len())
+			srv.EnableParsedBackend(node, domains)
+		} else {
+			srv.EnableParsed(ps, domains)
+		}
 	}
 
 	addr, err := srv.Listen(*listen)
@@ -166,6 +239,9 @@ func main() {
 		if router != nil {
 			mux.HandleFunc("/admin/tiered", adminTiered(router))
 		}
+		if node != nil {
+			mux.HandleFunc("/admin/cluster", adminCluster(node))
+		}
 		dbg := &http.Server{Handler: mux}
 		go func() { _ = dbg.Serve(dl) }()
 		defer dbg.Close()
@@ -175,6 +251,9 @@ func main() {
 		}
 		if router != nil {
 			log.Printf("tier status at http://%s/admin/tiered", dl.Addr())
+		}
+		if node != nil {
+			log.Printf("cluster status at http://%s/admin/cluster", dl.Addr())
 		}
 	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
@@ -244,6 +323,17 @@ func adminModel(mgr *lifecycle.Manager) http.HandlerFunc {
 			"state":    mgr.State().String(),
 			"flagged":  mgr.Flagged(),
 		})
+	}
+}
+
+// adminCluster reports the node's view of the ring: its own status,
+// per-member ownership fractions, and a live poll of every peer.
+func adminCluster(node *cluster.Node) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(node.ClusterStatus(ctx))
 	}
 }
 

@@ -29,6 +29,7 @@
 package lifecycle
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -493,6 +494,28 @@ func (m *Manager) ReloadFromFile(path string) (*Snapshot, error) {
 		return nil, err
 	}
 	snap := m.Swap(p, info, path)
+	m.met.reloads.Inc()
+	return snap, nil
+}
+
+// ReloadFromBytes loads a WMDL artifact from memory and swaps it live —
+// the cluster model-distribution path: a joining node fetches the
+// serving artifact from a peer over the shard protocol and applies it
+// only after the magic, format version, payload CRC32C, and feature
+// dimensions all verify. A corrupt or truncated transfer leaves the old
+// model serving, exactly like a bad file on the SIGHUP path. The
+// snapshot carries the artifact identity but no path (the bytes came
+// off the wire, not disk).
+func (m *Manager) ReloadFromBytes(data []byte) (*Snapshot, error) {
+	info, err := store.StatModelBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := store.ReadModel(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	snap := m.Swap(p, info, "")
 	m.met.reloads.Inc()
 	return snap, nil
 }

@@ -255,6 +255,7 @@ func TestHotSwapUnderLoad(t *testing.T) {
 	const hammers = 4
 	seen := make([]map[string]bool, hammers)
 	errs := make([]error, hammers)
+	ready := make(chan struct{}, hammers)
 	var wg sync.WaitGroup
 	for g := 0; g < hammers; g++ {
 		wg.Add(1)
@@ -274,8 +275,18 @@ func TestHotSwapUnderLoad(t *testing.T) {
 					return
 				}
 				local[rec.ModelVersion] = true
+				if i == 0 {
+					ready <- struct{}{}
+				}
 			}
 		}(g)
+	}
+	// On GOMAXPROCS=1 the swap loop below can finish before the hammer
+	// goroutines are ever scheduled; don't start swapping until every
+	// hammer has a first parse in hand, so the load genuinely overlaps
+	// the swaps.
+	for g := 0; g < hammers; g++ {
+		<-ready
 	}
 
 	for i := 1; i <= swaps; i++ {

@@ -1,6 +1,7 @@
 package rdap
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -24,10 +26,27 @@ type Server struct {
 	mu      sync.RWMutex
 	domains map[string]*Domain
 	records map[string]string // raw WHOIS text, for /parsed/
-	parse   *serve.Server
+	parse   ParseBackend
 	httpSrv *http.Server
 	addr    string
 	met     *serverMetrics
+}
+
+// ParseBackend is what /parsed/{name} serves through: a plain
+// serve.Server (wrapped by EnableParsed) or a cluster node that routes
+// the domain to its ring owner first (EnableParsedBackend). The domain
+// rides along with the text so a cluster backend can consistent-hash
+// it.
+type ParseBackend interface {
+	ParseDomain(ctx context.Context, domain, text string) (*core.ParsedRecord, error)
+}
+
+// serveBackend adapts the single-process serving layer to ParseBackend:
+// locally there is no routing decision, the domain is ignored.
+type serveBackend struct{ ps *serve.Server }
+
+func (b serveBackend) ParseDomain(ctx context.Context, _, text string) (*core.ParsedRecord, error) {
+	return b.ps.Parse(ctx, text)
 }
 
 // serverMetrics are the HTTP-layer counters; the parse-serving layer
@@ -71,9 +90,16 @@ type errorResponse struct {
 // and answers with the labeled fields as RDAP-flavored JSON. Call before
 // Listen; the caller keeps ownership of ps (and closes it after Close).
 func (s *Server) EnableParsed(ps *serve.Server, domains []*synth.Domain) {
+	s.EnableParsedBackend(serveBackend{ps}, domains)
+}
+
+// EnableParsedBackend is EnableParsed over any ParseBackend — the
+// cluster entry point: rdapd in cluster mode passes its cluster.Node so
+// every /parsed/ request is served by the domain's ring owner.
+func (s *Server) EnableParsedBackend(pb ParseBackend, domains []*synth.Domain) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.parse = ps
+	s.parse = pb
 	s.records = make(map[string]string, len(domains))
 	for _, d := range domains {
 		s.records[strings.ToLower(d.Reg.Domain)] = d.Render().Text
@@ -149,7 +175,7 @@ func (s *Server) serveParsed(w http.ResponseWriter, r *http.Request, name string
 			Description: []string{name + " is not registered here"}})
 		return
 	}
-	pr, err := ps.Parse(r.Context(), text)
+	pr, err := ps.ParseDomain(r.Context(), name, text)
 	switch {
 	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
 		// Saturation and drain both surface as a retryable 503 — the

@@ -315,6 +315,19 @@ func decodeContact(r *reader, c *core.Contact) {
 	c.Email = r.str()
 }
 
+// EncodeRecord appends rec's payload encoding to buf and returns the
+// extended slice — the store's bounds-checked record codec exposed for
+// the cluster shard protocol, whose wire format carries parsed records
+// in exactly the segment-log payload layout (so the two can never drift
+// apart on what a record is). The frame envelope (length, CRC) is the
+// transport's business, not the payload's.
+func EncodeRecord(buf []byte, rec *Record) []byte { return appendRecord(buf, rec) }
+
+// DecodeRecord parses one payload produced by EncodeRecord (or read
+// from a segment frame). It never panics or over-reads on corrupt
+// input.
+func DecodeRecord(payload []byte) (*Record, error) { return decodeRecord(payload) }
+
 // appendFrame wraps payload in the frame envelope: length varint, bytes,
 // CRC32C.
 func appendFrame(buf, payload []byte) []byte {

@@ -69,19 +69,9 @@ func (mi ModelInfo) String() string {
 // model never hit disk).
 func (mi ModelInfo) IsZero() bool { return mi == ModelInfo{} }
 
-// StatModel reads only the WMDL header of the artifact at path and
-// returns its identity, without decoding (or even reading) the payload.
-// Daemons call it at startup to log exactly which model they loaded, and
-// the lifecycle manager uses it to version cache entries across hot
-// reloads.
-func StatModel(path string) (ModelInfo, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return ModelInfo{}, fmt.Errorf("store: stat model: %w", err)
-	}
-	defer f.Close()
-	hdr := make([]byte, modelHeaderLen)
-	if _, err := io.ReadFull(f, hdr); err != nil {
+// parseModelHeader validates a WMDL header and extracts the identity.
+func parseModelHeader(hdr []byte) (ModelInfo, error) {
+	if len(hdr) < modelHeaderLen {
 		return ModelInfo{}, fmt.Errorf("%w: short header", ErrNotModel)
 	}
 	if [4]byte(hdr[:4]) != modelMagic {
@@ -97,6 +87,32 @@ func StatModel(path string) (ModelInfo, error) {
 		CRC32C:        binary.LittleEndian.Uint32(hdr[22:]),
 		PayloadBytes:  binary.LittleEndian.Uint64(hdr[26:]),
 	}, nil
+}
+
+// StatModel reads only the WMDL header of the artifact at path and
+// returns its identity, without decoding (or even reading) the payload.
+// Daemons call it at startup to log exactly which model they loaded, and
+// the lifecycle manager uses it to version cache entries across hot
+// reloads.
+func StatModel(path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("store: stat model: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, modelHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return ModelInfo{}, fmt.Errorf("%w: short header", ErrNotModel)
+	}
+	return parseModelHeader(hdr)
+}
+
+// StatModelBytes is StatModel over an in-memory artifact — the cluster
+// model-distribution path inspects fetched bytes before the (much more
+// expensive) full decode. The payload CRC is NOT verified here; that is
+// ReadModel's job.
+func StatModelBytes(data []byte) (ModelInfo, error) {
+	return parseModelHeader(data)
 }
 
 // SaveModel writes the trained parser to path in the versioned artifact
