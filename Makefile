@@ -15,10 +15,18 @@ COVER_FLOOR ?= 70
 # path; internal/store is the persistence layer under both;
 # internal/lifecycle owns hot reload and model promotion;
 # internal/tiered is the L0/L1 routing layer in front of the CRF;
-# internal/cluster is the sharded-serving coordination layer.
-COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster
+# internal/cluster is the sharded-serving coordination layer;
+# internal/query is the pruned survey-scale query engine over the store.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster repro/internal/query
 
-.PHONY: verify vet build test race bench-serve bench-tiered lint importcheck benchcheck cover fuzz-smoke
+# Corpus size and seed for the query-differential gate. The seed
+# defaults to today's date so CI explores a fresh corpus every day;
+# failures log both values, so any corpus is one env var away from a
+# local repro.
+QUERYDIFF_N ?= 2000
+QUERYDIFF_SEED ?= $(shell date +%Y%m%d)
+
+.PHONY: verify vet build test race bench-serve bench-tiered lint importcheck benchcheck cover fuzz-smoke query-diff
 
 verify: vet build test race
 
@@ -32,7 +40,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/... ./internal/query/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
@@ -68,15 +76,27 @@ benchcheck:
 	  $(GO) test -run '^$$' -bench 'BenchmarkStoreAppend$$|BenchmarkStoreScan$$' -benchtime 4096x -count 3 ./internal/store && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkHotSwap$$|BenchmarkParseDuringSwap$$' -benchtime 4096x -count 3 ./internal/lifecycle && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTiered' -benchtime 200x -count 3 ./internal/tiered && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRingLookup$$|BenchmarkRingLookupBounded$$|BenchmarkShardForward$$|BenchmarkShardForwardRemoteHit$$|BenchmarkShardForwardTCP$$' -benchtime 20000x -count 3 ./internal/cluster ) \
-	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkRingLookup$$|BenchmarkRingLookupBounded$$|BenchmarkShardForward$$|BenchmarkShardForwardRemoteHit$$|BenchmarkShardForwardTCP$$' -benchtime 20000x -count 3 ./internal/cluster && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQueryPruned$$|BenchmarkQueryFullScan$$|BenchmarkZoneMapBuild$$' -benchtime 20x -count 3 ./internal/query ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json BENCH_query.json
 
 # fuzz-smoke: replay the checked-in seed corpora and fuzz the record
 # decoder briefly. Not part of verify; run before touching encoding.go.
 fuzz-smoke:
-	$(GO) test -run TestFuzzSeeds ./internal/store/
+	$(GO) test -run TestFuzzSeeds ./internal/store/ ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzFrameScan -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzIndexDecode -fuzztime 10s ./internal/query/
+
+# query-diff: the differential gate for the query engine. A randomized
+# store (fresh seed daily in CI) is queried with every supported
+# predicate through both the index-pruned planner and the brute-force
+# full scan; any byte of difference fails. The corrupt-sidecar variant
+# re-runs the comparison with each sidecar failure mode injected.
+query-diff:
+	@echo "query-diff: QUERYDIFF_N=$(QUERYDIFF_N) QUERYDIFF_SEED=$(QUERYDIFF_SEED)"
+	QUERYDIFF_N=$(QUERYDIFF_N) QUERYDIFF_SEED=$(QUERYDIFF_SEED) \
+	  $(GO) test -run 'TestQueryDifferential' -count=1 ./internal/query/
 
 # cover: per-package coverage floor. Writes cover.<pkg>.out profiles
 # (uploaded as CI artifacts) and fails if any gated package is below

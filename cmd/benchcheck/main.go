@@ -16,6 +16,12 @@
 //   - "ceiling": {"ns_op": 20000, "allocs_op": 40} — absolute bars with
 //     no tolerance, for acceptance criteria ("the fast path stays under
 //     20µs and 40 allocs") rather than drift detection.
+//   - "min_ratio_over": {"BenchmarkQueryFullScan": {"ns_op": 5}} — a
+//     cross-benchmark floor: this benchmark's ns_op must be at least 5x
+//     smaller than BenchmarkQueryFullScan's, both measured in the same
+//     run. Machine-independent, so it gates acceptance criteria of the
+//     form "the optimized path beats the baseline path by Nx". Both
+//     benchmarks must appear in the input or the check fails.
 //
 // Run `-count 3` (or more) benchmarks and benchcheck keeps the minimum
 // per metric — the least-noisy estimate of the true cost on a shared
@@ -98,13 +104,18 @@ type baseline struct {
 	envDependent map[string]bool
 	// ceilings are absolute no-tolerance bars per metric.
 	ceilings map[string]float64
+	// ratioOver are cross-benchmark floors: for each referenced
+	// benchmark, per metric, the minimum factor by which this benchmark
+	// must beat it (reference/this >= floor) in the same run.
+	ratioOver map[string]map[string]float64
 }
 
 // metadata fields of a baseline entry that are not comparable metrics.
 var nonMetricFields = map[string]bool{
 	"note": true, "before": true, "after": true,
 	"environment_dependent": true, "ceiling": true,
-	"speedup": true, "speedup_vs_cold": true,
+	"min_ratio_over": true,
+	"speedup":        true, "speedup_vs_cold": true,
 }
 
 // mergeBaselines pulls per-metric figures out of a BENCH_*.json
@@ -163,6 +174,11 @@ func mergeBaselines(dst map[string]*baseline, data []byte) error {
 		if c, ok := fields["ceiling"]; ok {
 			if err := json.Unmarshal(c, &b.ceilings); err != nil {
 				return fmt.Errorf("%s: ceiling: %w", name, err)
+			}
+		}
+		if ro, ok := fields["min_ratio_over"]; ok {
+			if err := json.Unmarshal(ro, &b.ratioOver); err != nil {
+				return fmt.Errorf("%s: min_ratio_over: %w", name, err)
 			}
 		}
 		dst[name] = b
@@ -277,6 +293,41 @@ func compare(measured map[string]map[string]float64, baselines map[string]*basel
 				delta = (got/want - 1) * 100
 			}
 			lines = append(lines, fmt.Sprintf("%-56s baseline %12.2f, measured %12.2f (%+.1f%%)  %s", id, want, got, delta, status))
+		}
+
+		// Cross-benchmark floors: this benchmark must beat the referenced
+		// one by the recorded factor, both measured in this run. A missing
+		// measurement fails — a ratio gate that silently skips is no gate.
+		refs := make([]string, 0, len(base.ratioOver))
+		for ref := range base.ratioOver {
+			refs = append(refs, ref)
+		}
+		sort.Strings(refs)
+		for _, ref := range refs {
+			floors := make([]string, 0, len(base.ratioOver[ref]))
+			for metric := range base.ratioOver[ref] {
+				floors = append(floors, metric)
+			}
+			sort.Strings(floors)
+			for _, metric := range floors {
+				floor := base.ratioOver[ref][metric]
+				id := fmt.Sprintf("%s %s vs %s", name, metric, ref)
+				checked++
+				got, gotOK := measured[name][metric]
+				refV, refOK := measured[ref][metric]
+				if !gotOK || !refOK || got <= 0 {
+					regressions++
+					lines = append(lines, fmt.Sprintf("%-56s floor %gx unverifiable (benchmark not measured)  REGRESSION", id, floor))
+					continue
+				}
+				ratio := refV / got
+				status := "ok"
+				if ratio < floor {
+					status = "REGRESSION"
+					regressions++
+				}
+				lines = append(lines, fmt.Sprintf("%-56s ratio %9.2fx, floor %gx                    %s", id, ratio, floor, status))
+			}
 		}
 	}
 	return lines, checked, regressions

@@ -198,6 +198,71 @@ func TestCompareSkipsEnvironmentDependent(t *testing.T) {
 	}
 }
 
+func TestMergeBaselinesMinRatioOver(t *testing.T) {
+	dst := make(map[string]*baseline)
+	doc := `{"benchmarks": {
+		"BenchmarkQueryPruned": {
+			"ns_op": 500000,
+			"min_ratio_over": {"BenchmarkQueryFullScan": {"ns_op": 5}}},
+		"BenchmarkQueryFullScan": {"ns_op": 5000000}}}`
+	if err := mergeBaselines(dst, []byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	pr := dst["BenchmarkQueryPruned"]
+	if pr.ratioOver["BenchmarkQueryFullScan"]["ns_op"] != 5 {
+		t.Errorf("ratioOver: %v", pr.ratioOver)
+	}
+	if _, ok := pr.metrics["min_ratio_over"]; ok {
+		t.Error("min_ratio_over leaked into metrics")
+	}
+}
+
+func TestCompareEnforcesRatioFloors(t *testing.T) {
+	baselines := map[string]*baseline{
+		"BenchmarkQueryPruned": {
+			metrics:   map[string]float64{"ns_op": 500000},
+			ratioOver: map[string]map[string]float64{"BenchmarkQueryFullScan": {"ns_op": 5}},
+		},
+		"BenchmarkQueryFullScan": {metrics: map[string]float64{"ns_op": 5000000}},
+	}
+	// 10x over the reference: clean.
+	lines, checked, n := compare(map[string]map[string]float64{
+		"BenchmarkQueryPruned":   {"ns_op": 500000},
+		"BenchmarkQueryFullScan": {"ns_op": 5000000},
+	}, baselines, 0.30)
+	if n != 0 {
+		t.Fatalf("clean 10x run flagged: %v", lines)
+	}
+	if checked != 3 { // two ns_op drift checks + one ratio check
+		t.Fatalf("checked = %d, want 3: %v", checked, lines)
+	}
+	// Only 2x over the reference: the ratio floor fires even though the
+	// drift gate (vs the pruned benchmark's own baseline) stays quiet.
+	lines, _, n = compare(map[string]map[string]float64{
+		"BenchmarkQueryPruned":   {"ns_op": 500000},
+		"BenchmarkQueryFullScan": {"ns_op": 1000000},
+	}, baselines, 10.0)
+	if n != 1 {
+		t.Fatalf("2x run under a 5x floor, want 1 regression: %v", lines)
+	}
+	var ratioLine bool
+	for _, l := range lines {
+		if strings.Contains(l, "vs BenchmarkQueryFullScan") && strings.Contains(l, "REGRESSION") {
+			ratioLine = true
+		}
+	}
+	if !ratioLine {
+		t.Errorf("no failing ratio line: %v", lines)
+	}
+	// Reference benchmark missing from the run: unverifiable = failure.
+	_, _, n = compare(map[string]map[string]float64{
+		"BenchmarkQueryPruned": {"ns_op": 500000},
+	}, baselines, 0.30)
+	if n != 1 {
+		t.Errorf("missing reference not flagged: %d regressions", n)
+	}
+}
+
 func TestCompareEnforcesCeilings(t *testing.T) {
 	baselines := map[string]*baseline{
 		"BenchmarkTieredHead": {

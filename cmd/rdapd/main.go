@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/rdap"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -54,7 +56,7 @@ func main() {
 	parseWorkers := flag.Int("parse-workers", 0, "parse worker pool size (0 = GOMAXPROCS)")
 	parseQueue := flag.Int("parse-queue", 0, "admission queue depth (0 = 8x workers); overflow answers 503")
 	parseCache := flag.Int("parse-cache", 4096, "parsed-record cache capacity (negative disables)")
-	storeDir := flag.String("store", "", "warm-start the parse cache from this record store's newest segment")
+	storeDir := flag.String("store", "", "open this record store for the daemon's lifetime: warm-start the parse cache from its newest segment and serve predicated queries at /admin/query on -debug-addr")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
 	lifecycleMode := flag.Bool("lifecycle", false,
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP or POST /admin/reload (requires a WMDL -model)")
@@ -78,6 +80,30 @@ func main() {
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
 	srv := rdap.NewServer(domains)
 	srv.Instrument(reg)
+
+	// -store opens the record store once for the whole run: the warm
+	// start streams from it at boot, and the query engine serves
+	// /admin/query over it for as long as the daemon lives, deriving
+	// sidecars in the background whenever a segment seals.
+	var recStore *store.Store
+	var qe *query.Engine
+	if *storeDir != "" {
+		var err error
+		recStore, err = store.Open(*storeDir, store.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer recStore.Close()
+		qe = query.New(recStore, query.Options{Metrics: reg})
+		qe.AutoBuild()
+		go func() {
+			if built, err := qe.BuildAll(); err != nil {
+				log.Printf("query: sidecar build: %v (queries fall back where needed)", err)
+			} else if built > 0 {
+				log.Printf("query: built sidecars for %d segments", built)
+			}
+		}()
+	}
 
 	// With -lifecycle the model is owned by a lifecycle.Manager: every
 	// response is stamped with the model version that produced it, the
@@ -143,7 +169,7 @@ func main() {
 			// parser; the lifecycle path routes via Options.Tiered.
 			ps.SetParseFunc(router.Bind(p.Parse))
 		}
-		if *storeDir != "" {
+		if recStore != nil {
 			// Under -lifecycle only records stamped by the exact model
 			// being served may seed the cache; anything else would be
 			// unattributable (or misattributed) after the first reload.
@@ -151,7 +177,7 @@ func main() {
 			if mgr != nil {
 				wantVersion = mgr.Current().Version
 			}
-			n, err := warmStart(ps, *storeDir, wantVersion, reg)
+			n, err := warmStart(ps, recStore, wantVersion)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -242,6 +268,9 @@ func main() {
 		if node != nil {
 			mux.HandleFunc("/admin/cluster", adminCluster(node))
 		}
+		if qe != nil {
+			mux.HandleFunc("/admin/query", adminQuery(qe))
+		}
 		dbg := &http.Server{Handler: mux}
 		go func() { _ = dbg.Serve(dl) }()
 		defer dbg.Close()
@@ -254,6 +283,9 @@ func main() {
 		}
 		if node != nil {
 			log.Printf("cluster status at http://%s/admin/cluster", dl.Addr())
+		}
+		if qe != nil {
+			log.Printf("store queries at http://%s/admin/query?registrar=...&country=...&year=...&since=...", dl.Addr())
 		}
 	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
@@ -347,18 +379,105 @@ func adminTiered(router *tiered.Router) http.HandlerFunc {
 	}
 }
 
+// adminQuery answers a predicate over the opened record store through
+// the query engine: ?where= takes a full predicate expression, and/or
+// ?registrar= ?country= ?year= ?since= add single dimensions. The JSON
+// reply carries the match count, the top registrars/countries and the
+// per-year histogram of the matching rows, and the planner's execution
+// stats (how many segments were pruned, seeked, scanned, rebuilt).
+func adminQuery(e *query.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		parts := make([]string, 0, 5)
+		if s := q.Get("where"); s != "" {
+			parts = append(parts, s)
+		}
+		for _, k := range []string{"registrar", "country", "year", "since"} {
+			if v := q.Get(k); v != "" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		p, err := query.ParsePred(strings.Join(parts, ","))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		registrars := make(map[string]int)
+		countries := make(map[string]int)
+		years := make(map[int]int)
+		stats, err := e.Scan(p, func(rec *store.Record) error {
+			if rec.Facts.Registrar != "" {
+				registrars[rec.Facts.Registrar]++
+			}
+			if rec.Facts.Country != "" {
+				countries[rec.Facts.Country]++
+			}
+			years[rec.Facts.CreatedYear]++
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"predicate":      p.String(),
+			"matched":        stats.Matched,
+			"stats":          stats,
+			"top_registrars": topCounts(registrars, 10),
+			"top_countries":  topCounts(countries, 10),
+			"years":          yearCounts(years),
+		})
+	}
+}
+
+// keyCount is one row of a ranked JSON breakdown.
+type keyCount struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+// topCounts ranks a breakdown by count (ties by key) and keeps the top k.
+func topCounts(m map[string]int, k int) []keyCount {
+	out := make([]keyCount, 0, len(m))
+	for key, n := range m {
+		out = append(out, keyCount{key, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// yearCount is one bar of the per-year JSON histogram; year 0 counts the
+// records whose creation year did not parse.
+type yearCount struct {
+	Year int `json:"year"`
+	N    int `json:"n"`
+}
+
+func yearCounts(m map[int]int) []yearCount {
+	out := make([]yearCount, 0, len(m))
+	for y, n := range m {
+		out = append(out, yearCount{y, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
 // warmStart replays the newest store segment (the records written
 // closest to the previous shutdown) into the serving cache: records that
 // carry both their raw text and a parsed view preload under the same
 // cache key a live request for that text would compute. When wantVersion
 // is non-empty, only records stamped by that exact model version are
 // admitted.
-func warmStart(ps *serve.Server, dir, wantVersion string, reg *obs.Registry) (int, error) {
-	st, err := store.Open(dir, store.Options{Metrics: reg})
-	if err != nil {
-		return 0, err
-	}
-	defer st.Close()
+func warmStart(ps *serve.Server, st *store.Store, wantVersion string) (int, error) {
 	it := st.IterNewestSegment()
 	defer it.Close()
 	n := 0

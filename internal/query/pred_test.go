@@ -1,0 +1,98 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/survey"
+)
+
+func TestParsePred(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Pred
+	}{
+		{"", Pred{}},
+		{"registrar=eNom", Pred{Registrar: "eNom"}},
+		{"registrar=GoDaddy.com, LLC", Pred{Registrar: "GoDaddy.com, LLC"}},
+		{"registrar=GoDaddy.com, LLC,country=US", Pred{Registrar: "GoDaddy.com, LLC", Country: "United States"}},
+		{"country=us", Pred{Country: "United States"}},
+		{"country=Narnia", Pred{Country: "Narnia"}}, // non-canonical kept verbatim
+		{"year=2014", Pred{Year: 2014, HasYear: true}},
+		{"year=0", Pred{HasYear: true}},
+		{"since=2010", Pred{Since: 2010}},
+		{" registrar = eNom , since = 2012 ", Pred{Registrar: "eNom", Since: 2012}},
+		{"registrar=eNom,country=CN,year=2014,since=2000",
+			Pred{Registrar: "eNom", Country: "China", Year: 2014, HasYear: true, Since: 2000}},
+	}
+	for _, c := range cases {
+		got, err := ParsePred(c.in)
+		if err != nil {
+			t.Errorf("ParsePred(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePred(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePredErrors(t *testing.T) {
+	for _, in := range []string{
+		"registrar",           // no '='
+		"registrar=",          // empty value
+		"bogus=1",             // unknown key
+		"year=abc",            // non-numeric
+		"year=10000",          // out of range
+		"since=0",             // since must be positive
+		"since=2010,since=11", // duplicate
+		"registrar=a,registrar=b",
+	} {
+		if p, err := ParsePred(in); err == nil {
+			t.Errorf("ParsePred(%q) accepted as %+v", in, p)
+		}
+	}
+}
+
+func TestPredMatch(t *testing.T) {
+	f := survey.Facts{Registrar: "eNom", Country: "China", CreatedYear: 2012}
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Pred{}, true},
+		{Pred{Registrar: "eNom"}, true},
+		{Pred{Registrar: "Tucows"}, false},
+		{Pred{Country: "China"}, true},
+		{Pred{Country: "United States"}, false},
+		{Pred{Year: 2012, HasYear: true}, true},
+		{Pred{Year: 2014, HasYear: true}, false},
+		{Pred{Since: 2012}, true},
+		{Pred{Since: 2013}, false},
+		{Pred{Registrar: "eNom", Country: "China", Since: 2000}, true},
+		{Pred{Registrar: "eNom", Country: "China", Year: 2013, HasYear: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Match(&f); got != c.want {
+			t.Errorf("(%s).Match(%+v) = %v, want %v", c.p, f, got, c.want)
+		}
+	}
+	// Unknown-year records: year=0 matches, any since= excludes.
+	noYear := survey.Facts{Registrar: "eNom"}
+	if !(Pred{HasYear: true}).Match(&noYear) {
+		t.Error("year=0 should match a record without a parsed year")
+	}
+	if (Pred{Since: 1990}).Match(&noYear) {
+		t.Error("since= should exclude records without a parsed year")
+	}
+}
+
+func TestPredString(t *testing.T) {
+	if got := (Pred{}).String(); got != "(all)" {
+		t.Errorf("empty Pred String = %q", got)
+	}
+	p := Pred{Registrar: "eNom", Country: "China", Year: 2014, HasYear: true, Since: 2000}
+	round, err := ParsePred(p.String())
+	if err != nil || round != p {
+		t.Errorf("Pred round trip via String: %+v -> %q -> %+v (%v)", p, p.String(), round, err)
+	}
+}

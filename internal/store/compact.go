@@ -95,7 +95,7 @@ func (s *Store) Compact() (CompactStats, error) {
 
 	// Pass 2: copy winning frames, in order, into the merged segment.
 	tmpPath := filepath.Join(s.dir, "compact.tmp")
-	merged, err := writeMerged(tmpPath, sealed, winner, s.opts.IndexEvery, &stats)
+	merged, err := writeMerged(tmpPath, sealed, winner, s.opts, &stats)
 	if err != nil {
 		os.Remove(tmpPath)
 		return stats, err
@@ -133,6 +133,12 @@ func (s *Store) Compact() (CompactStats, error) {
 	s.segments = segs
 	s.met.compactions.Inc()
 	s.met.compactSecs.ObserveSince(start)
+	if fn := s.onSeal; fn != nil {
+		// The merged segment's bytes are new — derived sidecars for the
+		// old inputs are stale and must be rebuilt off this id.
+		id := merged.id
+		go fn(id)
+	}
 	return stats, nil
 }
 
@@ -142,8 +148,9 @@ func (s *Store) clearCompactBusy() {
 	s.mu.Unlock()
 }
 
-// scanSealed walks every frame of the sealed snapshot in order, handing
-// each payload and its decoded domain to fn.
+// scanSealed walks every record of the sealed snapshot in order —
+// expanding compressed blocks — handing each record payload and its
+// decoded domain to fn.
 func scanSealed(sealed []iterSegment, fn func(payload []byte, domain string) error) error {
 	for i := range sealed {
 		seg := &sealed[i]
@@ -151,17 +158,27 @@ func scanSealed(sealed []iterSegment, fn func(payload []byte, domain string) err
 			return fmt.Errorf("store: compact seek: %w", err)
 		}
 		sc := newFrameScanner(io.LimitReader(seg.f, seg.size-segHeaderLen), segHeaderLen)
-		for n := seg.records; n > 0; n-- {
+		var n uint64
+		for n < seg.records {
 			payload, off, err := sc.next()
 			if err != nil {
 				return fmt.Errorf("store: compact scan %s at %d: %w", seg.path, off, err)
 			}
-			rec, err := decodeRecord(payload)
-			if err != nil {
-				return fmt.Errorf("store: compact scan %s at %d: %w", seg.path, off, err)
+			payloads := [][]byte{payload}
+			if isBlockPayload(payload) {
+				if payloads, err = decodeBlock(payload); err != nil {
+					return fmt.Errorf("store: compact scan %s at %d: %w", seg.path, off, err)
+				}
 			}
-			if err := fn(payload, rec.Domain); err != nil {
-				return err
+			for _, p := range payloads {
+				rec, err := decodeRecord(p)
+				if err != nil {
+					return fmt.Errorf("store: compact scan %s at %d: %w", seg.path, off, err)
+				}
+				if err := fn(p, rec.Domain); err != nil {
+					return err
+				}
+				n++
 			}
 		}
 	}
@@ -170,7 +187,10 @@ func scanSealed(sealed []iterSegment, fn func(payload []byte, domain string) err
 
 // writeMerged writes the winning frames to tmpPath and returns the new
 // segment's metadata (path/id are patched in by the caller at swap).
-func writeMerged(tmpPath string, sealed []iterSegment, winner map[string]uint64, indexEvery int, stats *CompactStats) (*segment, error) {
+// Under Options.Compress the merged output is written as block frames
+// directly, so a compaction never decompresses a corpus only to leave it
+// plain again.
+func writeMerged(tmpPath string, sealed []iterSegment, winner map[string]uint64, opts Options, stats *CompactStats) (*segment, error) {
 	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: compact temp: %w", err)
@@ -183,6 +203,10 @@ func writeMerged(tmpPath string, sealed []iterSegment, winner map[string]uint64,
 		return nil, fmt.Errorf("store: compact header: %w", err)
 	}
 	merged := &segment{size: segHeaderLen}
+	var bw *blockWriter
+	if opts.Compress {
+		bw = newBlockWriter(f, merged, opts.BlockRecords, opts.IndexEvery)
+	}
 	var ordinal uint64
 	var frame []byte
 	err = scanSealed(sealed, func(payload []byte, domain string) error {
@@ -191,20 +215,29 @@ func writeMerged(tmpPath string, sealed []iterSegment, winner map[string]uint64,
 		if !keep {
 			return nil
 		}
+		stats.Kept++
+		if bw != nil {
+			return bw.add(payload)
+		}
 		frame = appendFrame(frame[:0], payload)
 		if _, err := f.Write(frame); err != nil {
 			return fmt.Errorf("store: compact write: %w", err)
 		}
-		if merged.records%uint64(indexEvery) == 0 {
+		if merged.records%uint64(opts.IndexEvery) == 0 {
 			merged.index = append(merged.index, indexEntry{seq: merged.records, off: merged.size})
 		}
 		merged.size += int64(len(frame))
 		merged.records++
-		stats.Kept++
+		merged.plain++
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if bw != nil {
+		if err := bw.flush(); err != nil {
+			return nil, err
+		}
 	}
 	if err := f.Sync(); err != nil {
 		return nil, fmt.Errorf("store: compact sync: %w", err)

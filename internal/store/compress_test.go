@@ -1,0 +1,493 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// compressedFixture builds a store whose only non-empty segment is
+// compressed: n records appended, Compact seals them into segment 1,
+// CompressSealed rewrites it into blocks of blockRecords.
+func compressedFixture(t *testing.T, dir string, n, blockRecords int) {
+	t.Helper()
+	st, err := Open(dir, Options{BlockRecords: blockRecords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := st.CompressSealed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Segments != 1 || cs.Records != uint64(n) {
+		t.Fatalf("CompressSealed = %+v, want 1 segment / %d records", cs, n)
+	}
+	if cs.BytesOut >= cs.BytesIn {
+		t.Fatalf("compression grew the segment: %d -> %d bytes", cs.BytesIn, cs.BytesOut)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressRoundTrip: compressing sealed segments changes only the
+// frame envelope — record content, count, and order survive both a live
+// iteration and a full close/reopen rescan.
+func TestCompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 100
+	compressedFixture(t, dir, n, 7)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Len(); got != n {
+		t.Fatalf("Len after reopen = %d, want %d", got, n)
+	}
+	infos := st.SegmentInfos()
+	if infos[0].Blocks == 0 || infos[0].Plain != 0 {
+		t.Fatalf("segment 1 not fully compressed: %+v", infos[0])
+	}
+	it := st.Iter()
+	defer it.Close()
+	var i int
+	for it.Next() {
+		want := testRecord(i)
+		if it.Record().Domain != want.Domain || it.Record().Facts.Org != want.Facts.Org {
+			t.Fatalf("record %d: got %q/%q", i, it.Record().Domain, it.Record().Facts.Org)
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("iterated %d records, want %d", i, n)
+	}
+}
+
+// TestIterFromAcrossBlocks: positional seeks must land on the right
+// record even when the sparse index points at a block frame and the
+// target sits mid-block.
+func TestIterFromAcrossBlocks(t *testing.T) {
+	dir := t.TempDir()
+	const n = 53
+	compressedFixture(t, dir, n, 5)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for seq := 0; seq < n; seq++ {
+		it := st.IterFrom(uint64(seq))
+		if !it.Next() {
+			t.Fatalf("IterFrom(%d): no record (err=%v)", seq, it.Err())
+		}
+		if want := fmt.Sprintf("example%04d.com", seq); it.Record().Domain != want {
+			t.Fatalf("IterFrom(%d): domain %q, want %q", seq, it.Record().Domain, want)
+		}
+		if it.Seq() != uint64(seq) {
+			t.Fatalf("IterFrom(%d): Seq = %d", seq, it.Seq())
+		}
+		it.Close()
+	}
+}
+
+// TestCompactOverCompressed: a compaction whose inputs are compressed
+// segments must still dedupe newest-wins, and with Options.Compress its
+// merged output comes out compressed.
+func TestCompactOverCompressed(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40
+	compressedFixture(t, dir, n, 6)
+
+	st, err := Open(dir, Options{Compress: true, BlockRecords: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Overwrite the first 10 domains; compaction must keep the rewrites.
+	for i := 0; i < 10; i++ {
+		rec := testRecord(i)
+		rec.Facts.Org = "rewritten"
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", stats.Dropped)
+	}
+	if got := st.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	infos := st.SegmentInfos()
+	if infos[0].Blocks == 0 || infos[0].Plain != 0 {
+		t.Fatalf("merged segment not compressed: %+v", infos[0])
+	}
+	// Newest-wins keeps the rewritten frames at their later positions, so
+	// verify by domain rather than by iteration order.
+	orgs := make(map[string]string)
+	it := st.Iter()
+	defer it.Close()
+	for it.Next() {
+		rec := it.Record()
+		if _, dup := orgs[rec.Domain]; dup {
+			t.Fatalf("domain %s survived twice", rec.Domain)
+		}
+		orgs[rec.Domain] = rec.Facts.Org
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(orgs) != n {
+		t.Fatalf("iterated %d distinct domains, want %d", len(orgs), n)
+	}
+	for i := 0; i < n; i++ {
+		domain := fmt.Sprintf("example%04d.com", i)
+		want := fmt.Sprintf("Org %d", i%3)
+		if i < 10 {
+			want = "rewritten"
+		}
+		if orgs[domain] != want {
+			t.Fatalf("domain %s: Org %q, want %q", domain, orgs[domain], want)
+		}
+	}
+}
+
+// TestAutoCompressOnRotate: with Options.Compress, rotation kicks off a
+// background rewrite of the sealed segment.
+func TestAutoCompressOnRotate(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 4 << 10, Compress: true, BlockRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil { // Close waits for background work
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Len(); got != 200 {
+		t.Fatalf("Len = %d, want 200", got)
+	}
+	infos := st2.SegmentInfos()
+	if len(infos) < 2 {
+		t.Fatalf("expected rotations, got %d segments", len(infos))
+	}
+	compressed := 0
+	for _, info := range infos[:len(infos)-1] {
+		if info.Blocks > 0 && info.Plain == 0 {
+			compressed++
+		}
+	}
+	if compressed == 0 {
+		t.Fatal("no sealed segment was auto-compressed")
+	}
+}
+
+// lastFrameStart scans a segment file and returns the byte offset where
+// its final frame begins.
+func lastFrameStart(t *testing.T, path string) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newFrameScanner(bytes.NewReader(data[segHeaderLen:]), segHeaderLen)
+	last := int64(segHeaderLen)
+	for {
+		_, off, err := sc.next()
+		if err == io.EOF {
+			return last
+		}
+		if err != nil {
+			t.Fatalf("scan %s at %d: %v", path, off, err)
+		}
+		last = off
+	}
+}
+
+// TestCompressedRecoveryTruncatedTailEveryOffset mirrors the plain-frame
+// crash-recovery contract for block frames: truncate the newest
+// (compressed) segment at every byte offset inside its final block frame.
+// Every reopen must drop exactly that block's records — a block frame is
+// all-or-nothing — and leave a tail clean enough for new appends.
+func TestCompressedRecoveryTruncatedTailEveryOffset(t *testing.T) {
+	const n, blockRecords = 8, 3 // blocks of 3+3+2: the last frame holds 2 records
+	base := t.TempDir()
+	pristine := filepath.Join(base, "pristine")
+	compressedFixture(t, pristine, n, blockRecords)
+	// Drop the empty active segment so the compressed segment is newest —
+	// the only position where tail truncation is a crash signature.
+	if err := os.Remove(filepath.Join(pristine, "00000002.seg")); err != nil {
+		t.Fatal(err)
+	}
+	segName := "00000001.seg"
+	orig, err := os.ReadFile(filepath.Join(pristine, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutFrom := lastFrameStart(t, filepath.Join(pristine, segName))
+	const lastBlockRecords = n % blockRecords
+
+	for cut := cutFrom; cut < int64(len(orig)); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			dir := filepath.Join(base, fmt.Sprintf("cut%d", cut))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, segName), orig[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after cut at %d: %v", cut, err)
+			}
+			if got := st.Len(); got != n-lastBlockRecords {
+				t.Fatalf("recovered %d records, want %d", got, n-lastBlockRecords)
+			}
+			it := st.Iter()
+			var i int
+			for it.Next() {
+				if want := fmt.Sprintf("example%04d.com", i); it.Record().Domain != want {
+					t.Fatalf("record %d: domain %q, want %q", i, it.Record().Domain, want)
+				}
+				i++
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+			it.Close()
+			if i != n-lastBlockRecords {
+				t.Fatalf("iterated %d records, want %d", i, n-lastBlockRecords)
+			}
+			// The tail is clean: a fresh append lands and survives reopen.
+			if err := st.Append(testRecord(100)); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			if got := st2.Len(); got != n-lastBlockRecords+1 {
+				t.Fatalf("after recovery+append: Len = %d, want %d", got, n-lastBlockRecords+1)
+			}
+		})
+	}
+}
+
+// TestCorruptBlockInSealedSegmentIsFatal: like plain frames, a damaged
+// block anywhere but the newest segment must fail Open loudly.
+func TestCorruptBlockInSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	compressedFixture(t, dir, 30, 4)
+	path := filepath.Join(dir, "00000001.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt compressed sealed segment")
+	}
+}
+
+// TestIterSurfacesSegmentCompacted is the regression test for the typed
+// race error: a reader whose snapshot open races a compaction that
+// already unlinked the segment file must see ErrSegmentCompacted, not a
+// raw ENOENT wrapped in a *os.PathError.
+func TestIterSurfacesSegmentCompacted(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 100; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Segments() < 2 {
+		t.Fatalf("need >= 2 segments, got %d", st.Segments())
+	}
+	// Simulate the tail end of a compaction the store hasn't observed
+	// yet: the first segment's file is gone but its metadata lives on.
+	if err := os.Remove(st.SegmentInfos()[0].Path); err != nil {
+		t.Fatal(err)
+	}
+	it := st.Iter()
+	defer it.Close()
+	if it.Next() {
+		t.Fatal("iterator yielded a record from a removed segment")
+	}
+	if err := it.Err(); !errors.Is(err, ErrSegmentCompacted) {
+		t.Fatalf("Iter error = %v, want ErrSegmentCompacted", err)
+	}
+}
+
+// TestOpenSegmentCompactedID: asking for a segment id that a compaction
+// merged away reports the typed error, and so does an id whose file was
+// removed underneath live metadata.
+func TestOpenSegmentCompactedID(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.OpenSegment(42); !errors.Is(err, ErrSegmentCompacted) {
+		t.Fatalf("OpenSegment(42) error = %v, want ErrSegmentCompacted", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := st.SegmentInfos()
+	if err := os.Remove(infos[0].Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenSegment(infos[0].ID); !errors.Is(err, ErrSegmentCompacted) {
+		t.Fatalf("OpenSegment error = %v, want ErrSegmentCompacted", err)
+	}
+}
+
+// TestSegmentReaderFrames: Frames and FrameAt agree with the iterator on
+// content for both plain and compressed segments, and the fingerprint
+// moves when the bytes are rewritten.
+func TestSegmentReaderFrames(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{BlockRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := st.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Compact(); err != nil { // seals segment 1
+		t.Fatal(err)
+	}
+	infos := st.SegmentInfos()
+	r, err := st.OpenSegment(infos[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpPlain, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	var domains []string
+	err = r.Frames(func(off int64, payloads [][]byte) error {
+		offs = append(offs, off)
+		for _, p := range payloads {
+			rec, err := DecodeRecord(p)
+			if err != nil {
+				return err
+			}
+			domains = append(domains, rec.Domain)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if len(domains) != n {
+		t.Fatalf("Frames saw %d records, want %d", len(domains), n)
+	}
+	for i, d := range domains {
+		if want := fmt.Sprintf("example%04d.com", i); d != want {
+			t.Fatalf("frame record %d = %q, want %q", i, d, want)
+		}
+	}
+
+	if _, err := st.CompressSealed(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := st.OpenSegment(infos[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	fpComp, err := r2.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpComp == fpPlain {
+		t.Fatal("fingerprint unchanged across a compression rewrite")
+	}
+	// FrameAt returns exactly the frame's records at each offset Frames
+	// reported.
+	offs = offs[:0]
+	count := 0
+	err = r2.Frames(func(off int64, payloads [][]byte) error {
+		offs = append(offs, off)
+		count += len(payloads)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("compressed Frames saw %d records, want %d", count, n)
+	}
+	for _, off := range offs {
+		payloads, err := r2.FrameAt(off)
+		if err != nil {
+			t.Fatalf("FrameAt(%d): %v", off, err)
+		}
+		if len(payloads) == 0 || len(payloads) > 4 {
+			t.Fatalf("FrameAt(%d): %d payloads", off, len(payloads))
+		}
+	}
+	// Off-boundary seeks must error, not fabricate records.
+	if _, err := r2.FrameAt(offs[0] + 1); err == nil {
+		t.Fatal("FrameAt mid-frame succeeded")
+	}
+	if _, err := r2.FrameAt(1); err == nil {
+		t.Fatal("FrameAt inside header succeeded")
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,9 +34,11 @@ type Iterator struct {
 	remaining uint64 // frames left to read in the current segment
 	started   bool   // current segment's scanner is positioned
 
-	sc  *frameScanner
-	rec *Record
-	err error
+	sc         *frameScanner
+	pending    [][]byte // records of the current compressed block
+	pendingOff int64    // the block frame's offset, for error context
+	rec        *Record
+	err        error
 }
 
 // snapshotLocked copies segment metadata and opens one read handle per
@@ -48,6 +50,12 @@ func (s *Store) snapshotLocked() ([]iterSegment, error) {
 		if err != nil {
 			for i := range segs {
 				segs[i].f.Close()
+			}
+			if os.IsNotExist(err) {
+				// A compaction (or an operator) removed the file between
+				// the reader deciding to scan and the open — surface the
+				// typed condition, not a raw ENOENT.
+				return nil, fmt.Errorf("store: iterate %s: %w", seg.path, ErrSegmentCompacted)
 			}
 			return nil, fmt.Errorf("store: iterate: %w", err)
 		}
@@ -135,6 +143,7 @@ func (it *Iterator) position(seg *iterSegment, off int64) error {
 		return fmt.Errorf("store: iterate seek: %w", err)
 	}
 	it.sc = newFrameScanner(io.LimitReader(seg.f, seg.size-off), off)
+	it.pending = nil
 	return nil
 }
 
@@ -145,6 +154,24 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	for {
+		// Drain the current compressed block before touching the scanner.
+		if len(it.pending) > 0 {
+			payload := it.pending[0]
+			it.pending = it.pending[1:]
+			it.remaining--
+			if it.skip > 0 {
+				it.skip--
+				continue
+			}
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				it.err = fmt.Errorf("store: %s at offset %d: %w", it.segs[it.cur].path, it.pendingOff, err)
+				return false
+			}
+			it.rec = rec
+			it.seq++
+			return true
+		}
 		if it.cur >= len(it.segs) {
 			return false
 		}
@@ -172,6 +199,18 @@ func (it *Iterator) Next() bool {
 			// means the file shrank underneath us — report it.
 			it.err = fmt.Errorf("store: %s at offset %d: %w", seg.path, off, err)
 			return false
+		}
+		if isBlockPayload(payload) {
+			// decodeBlock copies into a fresh buffer, so the pending
+			// queue survives the scanner reusing its frame buffer.
+			blockRecs, derr := decodeBlock(payload)
+			if derr != nil {
+				it.err = fmt.Errorf("store: %s at offset %d: %w", seg.path, off, derr)
+				return false
+			}
+			it.pending = blockRecs
+			it.pendingOff = off
+			continue
 		}
 		it.remaining--
 		if it.skip > 0 {

@@ -31,6 +31,14 @@ type Options struct {
 	// AutoCompactSegments, when > 0, kicks off a background compaction
 	// whenever a rotation leaves at least this many sealed segments.
 	AutoCompactSegments int
+	// Compress rewrites sealed segments into flate block frames in the
+	// background after every rotation (and makes compaction emit
+	// compressed output). The active segment always stays plain, so
+	// crash recovery keeps byte-granular tail truncation.
+	Compress bool
+	// BlockRecords is the records-per-compressed-block target for
+	// Compress / CompressSealed; <= 0 means 256.
+	BlockRecords int
 	// Metrics is the observability registry (store.* metrics, DESIGN.md
 	// §5c naming). Nil means a private registry reachable via Metrics().
 	Metrics *obs.Registry
@@ -42,6 +50,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IndexEvery <= 0 {
 		o.IndexEvery = 1024
+	}
+	if o.BlockRecords <= 0 {
+		o.BlockRecords = 256
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
@@ -64,6 +75,8 @@ type segment struct {
 	records uint64
 	size    int64 // committed bytes (header + intact frames)
 	index   []indexEntry
+	plain   uint64 // plain record frames (compression candidates)
+	blocks  uint64 // compressed block frames
 }
 
 // Store is an append-only, segmented, CRC-checked record log with
@@ -82,6 +95,8 @@ type Store struct {
 	compactWG   sync.WaitGroup
 	compactBusy bool
 
+	onSeal func(id uint64) // see SetOnSeal
+
 	reg *obs.Registry
 	met storeMetrics
 }
@@ -95,6 +110,9 @@ type storeMetrics struct {
 	compactions   *obs.Counter
 	compactSecs   *obs.Histogram
 	truncated     *obs.Counter
+	compressions  *obs.Counter
+	compressSecs  *obs.Histogram
+	compressSaved *obs.Counter
 }
 
 func (m *storeMetrics) register(reg *obs.Registry) {
@@ -105,6 +123,9 @@ func (m *storeMetrics) register(reg *obs.Registry) {
 	m.compactions = reg.Counter("store.compactions")
 	m.compactSecs = reg.Histogram("store.compact.seconds", obs.DurationBounds())
 	m.truncated = reg.Counter("store.recovery.truncated.bytes")
+	m.compressions = reg.Counter("store.compressions")
+	m.compressSecs = reg.Histogram("store.compress.seconds", obs.DurationBounds())
+	m.compressSaved = reg.Counter("store.compress.saved.bytes")
 }
 
 const segSuffix = ".seg"
@@ -241,6 +262,7 @@ func scanSegment(path string, id uint64, indexEvery int, isLast bool) (*segment,
 
 	seg := &segment{path: path, id: id, size: segHeaderLen}
 	sc := newFrameScanner(f, segHeaderLen)
+	var nextIndexAt uint64
 	for {
 		payload, start, err := sc.next()
 		if err == io.EOF {
@@ -259,20 +281,48 @@ func scanSegment(path string, id uint64, indexEvery int, isLast bool) (*segment,
 		}
 		// Validate the payload decodes before committing to it; a frame
 		// with a valid CRC but an undecodable record is corruption, not a
-		// torn write, yet on the tail we still prefer recovery.
-		if _, derr := decodeRecord(payload); derr != nil {
-			if isLast {
-				if terr := os.Truncate(path, start); terr != nil {
-					return nil, 0, fmt.Errorf("store: truncate bad tail record: %w", terr)
+		// torn write, yet on the tail we still prefer recovery. Block
+		// frames validate every record they carry, so a torn block drops
+		// whole (recovery granularity is one frame either way).
+		var count uint64
+		if isBlockPayload(payload) {
+			payloads, derr := decodeBlock(payload)
+			if derr == nil {
+				for _, p := range payloads {
+					if _, derr = decodeRecord(p); derr != nil {
+						break
+					}
 				}
-				return seg, fileSize - start, nil
 			}
-			return nil, 0, fmt.Errorf("store: %s at offset %d: %w", path, start, derr)
+			if derr != nil {
+				if isLast {
+					if terr := os.Truncate(path, start); terr != nil {
+						return nil, 0, fmt.Errorf("store: truncate bad tail block: %w", terr)
+					}
+					return seg, fileSize - start, nil
+				}
+				return nil, 0, fmt.Errorf("store: %s at offset %d: %w", path, start, derr)
+			}
+			count = uint64(len(payloads))
+			seg.blocks++
+		} else {
+			if _, derr := decodeRecord(payload); derr != nil {
+				if isLast {
+					if terr := os.Truncate(path, start); terr != nil {
+						return nil, 0, fmt.Errorf("store: truncate bad tail record: %w", terr)
+					}
+					return seg, fileSize - start, nil
+				}
+				return nil, 0, fmt.Errorf("store: %s at offset %d: %w", path, start, derr)
+			}
+			count = 1
+			seg.plain++
 		}
-		if seg.records%uint64(indexEvery) == 0 {
+		if seg.records >= nextIndexAt {
 			seg.index = append(seg.index, indexEntry{seq: seg.records, off: start})
+			nextIndexAt = seg.records + uint64(indexEvery)
 		}
-		seg.records++
+		seg.records += count
 		seg.size = sc.off
 	}
 	return seg, 0, nil
@@ -361,6 +411,7 @@ func (s *Store) Append(rec *Record) error {
 	}
 	active.size += int64(len(frame))
 	active.records++
+	active.plain++
 	s.unsynced++
 	if s.opts.SyncEvery > 0 && s.unsynced >= s.opts.SyncEvery {
 		if err := s.syncLocked(); err != nil {
@@ -404,6 +455,20 @@ func (s *Store) rotateLocked() error {
 		size:    segHeaderLen,
 	})
 	s.met.rotations.Inc()
+	// The previous active segment is now sealed: tell the seal hook (the
+	// query engine builds sidecar indexes off it) and, under
+	// Options.Compress, rewrite it into block frames in the background.
+	if fn := s.onSeal; fn != nil {
+		sealedID := last.id
+		go fn(sealedID)
+	}
+	if s.opts.Compress && !s.compactBusy {
+		s.compactWG.Add(1)
+		go func() {
+			defer s.compactWG.Done()
+			_, _ = s.CompressSealed()
+		}()
+	}
 	// Background compaction trigger. Compact itself serializes via
 	// compactBusy (a concurrent call no-ops), so a double spawn is
 	// harmless; rotations from inside a running Compact never spawn.
@@ -416,6 +481,22 @@ func (s *Store) rotateLocked() error {
 	}
 	return nil
 }
+
+// SetOnSeal registers fn to be called (each time in its own goroutine)
+// with a segment id whenever that segment becomes sealed — by rotation —
+// or a sealed segment's bytes are rewritten in place by compaction or
+// compression. Derived artifacts keyed to a segment's content (the query
+// engine's zone maps and secondary indexes) hang off this hook to stay
+// fresh without polling.
+func (s *Store) SetOnSeal(fn func(id uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onSeal = fn
+}
+
+// Dir reports the store's directory — sidecar artifacts (zone maps,
+// secondary indexes) live alongside the segments they describe.
+func (s *Store) Dir() string { return s.dir }
 
 // syncLocked fsyncs the active segment. Callers hold s.mu.
 func (s *Store) syncLocked() error {
