@@ -16,8 +16,9 @@ COVER_FLOOR ?= 70
 # internal/lifecycle owns hot reload and model promotion;
 # internal/tiered is the L0/L1 routing layer in front of the CRF;
 # internal/cluster is the sharded-serving coordination layer;
-# internal/query is the pruned survey-scale query engine over the store.
-COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster repro/internal/query
+# internal/query is the pruned survey-scale query engine over the store;
+# internal/consistency is the WHOIS<->RDAP cross-protocol audit engine.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster repro/internal/query repro/internal/consistency
 
 # Corpus size and seed for the query-differential gate. The seed
 # defaults to today's date so CI explores a fresh corpus every day;
@@ -40,7 +41,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/... ./internal/query/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/... ./internal/query/... ./internal/consistency/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
@@ -77,16 +78,19 @@ benchcheck:
 	  $(GO) test -run '^$$' -bench 'BenchmarkHotSwap$$|BenchmarkParseDuringSwap$$' -benchtime 4096x -count 3 ./internal/lifecycle && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTiered' -benchtime 200x -count 3 ./internal/tiered && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRingLookup$$|BenchmarkRingLookupBounded$$|BenchmarkShardForward$$|BenchmarkShardForwardRemoteHit$$|BenchmarkShardForwardTCP$$' -benchtime 20000x -count 3 ./internal/cluster && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkQueryPruned$$|BenchmarkQueryFullScan$$|BenchmarkZoneMapBuild$$' -benchtime 20x -count 3 ./internal/query ) \
-	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json BENCH_query.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkQueryPruned$$|BenchmarkQueryFullScan$$|BenchmarkZoneMapBuild$$' -benchtime 20x -count 3 ./internal/query && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkConsistencyCheck$$|BenchmarkConsistencyBatch$$' -benchtime 20000x -count 3 ./internal/consistency ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json BENCH_query.json BENCH_consistency.json
 
 # fuzz-smoke: replay the checked-in seed corpora and fuzz the record
 # decoder briefly. Not part of verify; run before touching encoding.go.
 fuzz-smoke:
 	$(GO) test -run TestFuzzSeeds ./internal/store/ ./internal/query/
+	$(GO) test -run TestFuzzSeedsAsRegressions ./internal/norm/
 	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzFrameScan -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzIndexDecode -fuzztime 10s ./internal/query/
+	$(GO) test -run '^$$' -fuzz FuzzNorm -fuzztime 10s ./internal/norm/
 
 # query-diff: the differential gate for the query engine. A randomized
 # store (fresh seed daily in CI) is queried with every supported

@@ -9,11 +9,18 @@
 //     pool with load shedding) and shaped as RDAP-flavored JSON.
 //
 // Comparing the two is the "WHOIS Right?" consistency experiment in
-// miniature: structured truth vs. learned parse, same schema.
+// miniature: structured truth vs. learned parse, same schema. With
+// -debug-addr the daemon runs that comparison on demand: GET
+// /admin/consistency self-audits the corpus through internal/consistency
+// — every domain's WHOIS text goes through the live parser, the result
+// is compared field by field against the RDAP truth, and the reply is
+// the aggregate agreement summary (per-field and per-registrar
+// disagreement breakdowns).
 //
-//	rdapd -n 2000 -listen 127.0.0.1:8083 &
+//	rdapd -n 2000 -listen 127.0.0.1:8083 -debug-addr 127.0.0.1:8084 &
 //	curl -s http://127.0.0.1:8083/domain/<name> | jq .
 //	curl -s http://127.0.0.1:8083/parsed/<name> | jq .
+//	curl -s http://127.0.0.1:8084/admin/consistency?limit=500 | jq .
 package main
 
 import (
@@ -26,11 +33,13 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lifecycle"
@@ -113,6 +122,11 @@ func main() {
 	var mgr *lifecycle.Manager
 	var router *tiered.Router
 	var node *cluster.Node
+	// parseFn is the same parse the serving layer would run for a cache
+	// miss, kept for the /admin/consistency self-audit: under -lifecycle
+	// it re-resolves the live model on every call so an audit after a
+	// hot-swap scores the model actually serving.
+	var parseFn func(text string) *core.ParsedRecord
 	if *parseMode {
 		// With -tiered, head-of-distribution registrars are served by
 		// compiled templates (L0) and everything L0 cannot vouch for —
@@ -164,10 +178,14 @@ func main() {
 		}()
 		if mgr != nil {
 			mgr.Attach(ps)
+			parseFn = mgr.Parse
 		} else if router != nil {
 			// Without lifecycle, bind the router directly over the plain
 			// parser; the lifecycle path routes via Options.Tiered.
 			ps.SetParseFunc(router.Bind(p.Parse))
+			parseFn = router.Bind(p.Parse)
+		} else {
+			parseFn = p.Parse
 		}
 		if recStore != nil {
 			// Under -lifecycle only records stamped by the exact model
@@ -271,6 +289,9 @@ func main() {
 		if qe != nil {
 			mux.HandleFunc("/admin/query", adminQuery(qe))
 		}
+		if parseFn != nil {
+			mux.HandleFunc("/admin/consistency", adminConsistency(domains, parseFn))
+		}
 		dbg := &http.Server{Handler: mux}
 		go func() { _ = dbg.Serve(dl) }()
 		defer dbg.Close()
@@ -286,6 +307,9 @@ func main() {
 		}
 		if qe != nil {
 			log.Printf("store queries at http://%s/admin/query?registrar=...&country=...&year=...&since=...", dl.Addr())
+		}
+		if parseFn != nil {
+			log.Printf("cross-protocol self-audit at http://%s/admin/consistency?limit=...", dl.Addr())
 		}
 	}
 	log.Printf("serving %d domains at http://%s/domain/{name}", *n, addr)
@@ -428,6 +452,57 @@ func adminQuery(e *query.Engine) http.HandlerFunc {
 			"top_countries":  topCounts(countries, 10),
 			"years":          yearCounts(years),
 		})
+	}
+}
+
+// adminConsistency self-audits the served corpus through
+// internal/consistency: each domain's raw WHOIS text goes through the
+// live parse function and the result is compared field by field against
+// the RDAP ground truth the daemon serves at /domain/{name}. The reply
+// is the auditor's aggregate summary — agreement-taxonomy counts,
+// per-field conflict totals, and the per-registrar disagreement ranking.
+// ?limit=N audits only the first N domains (the corpus order is the
+// deterministic generation order). Like the RDAP surface itself the
+// endpoint is read-only: anything but GET/HEAD is answered 405 with an
+// Allow header.
+func adminConsistency(domains []*synth.Domain, parse func(text string) *core.ParsedRecord) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": r.Method + " is not supported; use GET or HEAD",
+			})
+			return
+		}
+		limit := len(domains)
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			if v < limit {
+				limit = v
+			}
+		}
+		a := consistency.NewAuditor()
+		for _, d := range domains[:limit] {
+			pr := parse(d.Render().Text)
+			if pr == nil {
+				a.Skip()
+				continue
+			}
+			wv := consistency.FromWHOIS(pr)
+			if wv.Domain == "" {
+				wv.Domain = strings.ToLower(d.Reg.Domain)
+			}
+			rv := consistency.FromRDAP(rdap.FromRegistration(&d.Reg))
+			a.Observe(consistency.Compare(wv, rv))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(a.Summary())
 	}
 }
 

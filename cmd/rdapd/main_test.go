@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/templates"
+)
+
+// faithfulParseFn builds a stub parse function that answers each
+// domain's rendered WHOIS text with the parse a perfect pipeline would
+// produce — the handler under test, not the CRF, is what these tests
+// exercise.
+func faithfulParseFn(domains []*synth.Domain) func(string) *core.ParsedRecord {
+	byText := make(map[string]*core.ParsedRecord, len(domains))
+	for _, d := range domains {
+		byText[d.Render().Text] = faithfulParse(&d.Reg)
+	}
+	return func(text string) *core.ParsedRecord { return byText[text] }
+}
+
+func faithfulParse(reg *templates.Registration) *core.ParsedRecord {
+	return &core.ParsedRecord{
+		DomainName:  strings.ToLower(reg.Domain),
+		Registrar:   reg.RegistrarName,
+		CreatedDate: reg.Created.Format("02-Jan-2006"),
+		UpdatedDate: reg.Updated.Format("02-Jan-2006"),
+		ExpiresDate: reg.Expires.Format("02-Jan-2006"),
+		Registrant: core.Contact{
+			Name:    reg.Registrant.Name,
+			Email:   reg.Registrant.Email,
+			Country: reg.Registrant.CountryName,
+		},
+		NameServers: append([]string(nil), reg.NameServers...),
+		Statuses:    append([]string(nil), reg.Statuses...),
+	}
+}
+
+func getSummary(t *testing.T, h http.Handler, target string) consistency.Summary {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, target, nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", target, rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s consistency.Summary
+	if err := json.Unmarshal(rr.Body.Bytes(), &s); err != nil {
+		t.Fatalf("unmarshal summary: %v\n%s", err, rr.Body.String())
+	}
+	return s
+}
+
+// TestAdminConsistencySelfAudit drives the /admin/consistency handler: a
+// faithful parse audits clean, a divergent one surfaces its registrar,
+// and ?limit bounds the work.
+func TestAdminConsistencySelfAudit(t *testing.T) {
+	const n = 40
+	domains := synth.Generate(synth.Config{N: n, Seed: 3})
+	h := adminConsistency(domains, faithfulParseFn(domains))
+
+	s := getSummary(t, h, "/admin/consistency")
+	if s.Records != n || s.Skipped != 0 {
+		t.Fatalf("records=%d skipped=%d, want %d/0", s.Records, s.Skipped, n)
+	}
+	if s.Conflicted != 0 || s.Rate != 0 {
+		t.Fatalf("faithful self-audit shows conflicts: %+v", s)
+	}
+	if len(s.Fields) == 0 || len(s.Registrars) == 0 {
+		t.Fatalf("summary missing breakdowns: %+v", s)
+	}
+
+	if s := getSummary(t, h, "/admin/consistency?limit=10"); s.Records != 10 {
+		t.Errorf("limit=10 audited %d records", s.Records)
+	}
+
+	// A parse whose expiry slips a year for one registrar's domains must
+	// put that registrar at the top of the disagreement ranking.
+	target := domains[0].Reg.RegistrarName
+	base := faithfulParseFn(domains)
+	divergent := func(text string) *core.ParsedRecord {
+		pr := base(text)
+		if pr == nil || pr.Registrar != target {
+			return pr
+		}
+		mut := *pr
+		if exp, err := time.Parse("02-Jan-2006", pr.ExpiresDate); err == nil {
+			mut.ExpiresDate = exp.AddDate(1, 0, 0).Format("02-Jan-2006")
+		}
+		return &mut
+	}
+	s = getSummary(t, adminConsistency(domains, divergent), "/admin/consistency")
+	if s.Conflicted == 0 || s.Rate == 0 {
+		t.Fatalf("divergent parse audited clean: %+v", s)
+	}
+	if len(s.Registrars) == 0 || s.Registrars[0].Registrar != target {
+		t.Fatalf("top disagreeing registrar = %+v, want %s", s.Registrars[:1], target)
+	}
+	if tf := s.Registrars[0].TopFields; len(tf) == 0 || tf[0] != "expires" {
+		t.Errorf("top conflicting fields = %v, want expires first", tf)
+	}
+
+	// Texts the parser cannot answer are skipped, not scored.
+	none := func(string) *core.ParsedRecord { return nil }
+	if s := getSummary(t, adminConsistency(domains, none), "/admin/consistency"); s.Records != 0 || s.Skipped != n {
+		t.Errorf("nil parse: records=%d skipped=%d, want 0/%d", s.Records, s.Skipped, n)
+	}
+}
+
+// TestAdminConsistencyMethodsAndLimits pins the endpoint's read-only
+// contract: non-GET/HEAD answers 405 with an Allow header, HEAD is
+// accepted, and malformed limits answer 400.
+func TestAdminConsistencyMethodsAndLimits(t *testing.T) {
+	domains := synth.Generate(synth.Config{N: 8, Seed: 3})
+	h := adminConsistency(domains, faithfulParseFn(domains))
+
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(method, "/admin/consistency", strings.NewReader("{}")))
+		if rr.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s = %d, want 405", method, rr.Code)
+		}
+		if allow := rr.Header().Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("%s Allow = %q, want %q", method, allow, "GET, HEAD")
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil || body["error"] == nil {
+			t.Errorf("%s body is not a JSON error: %s", method, rr.Body.String())
+		}
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodHead, "/admin/consistency", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("HEAD = %d, want 200", rr.Code)
+	}
+
+	for _, target := range []string{"/admin/consistency?limit=0", "/admin/consistency?limit=-3", "/admin/consistency?limit=abc"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, target, nil))
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", target, rr.Code)
+		}
+	}
+}

@@ -7,20 +7,34 @@
 //	whoisparse train -in corpus.labeled -out parser.model [-train 1000]
 //	whoisparse eval  -model parser.model -in corpus.labeled [-baseline]
 //	whoisparse parse -model parser.model [record.txt]   (stdin if no file)
+//	whoisparse consistency -model parser.model -rdap http://host:port example.com
+//
+// The consistency subcommand is the one-shot cross-protocol check: it
+// obtains a domain over both WHOIS (parsed by the model) and RDAP,
+// projects both answers onto the common field set, and prints the
+// per-field agreement verdicts. -whois-file and -rdap-file swap either
+// live lookup for a canned fixture, so the check also runs offline.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/consistency"
 	"repro/internal/eval"
+	"repro/internal/rdap"
 	"repro/internal/rulebased"
 	"repro/internal/tokenize"
+	"repro/internal/whoisclient"
 
 	whoisparse "repro"
 )
@@ -46,13 +60,15 @@ func main() {
 		cmdXval(os.Args[2:])
 	case "inspect":
 		cmdInspect(os.Args[2:])
+	case "consistency":
+		cmdConsistency(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: whoisparse <gen|train|eval|parse|triage|inspect|xval> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: whoisparse <gen|train|eval|parse|triage|inspect|xval|consistency> [flags]")
 	os.Exit(2)
 }
 
@@ -277,6 +293,145 @@ func cmdEval(args []string) {
 		fmt.Println()
 		fmt.Print(c.Render())
 	}
+}
+
+// cmdConsistency runs the one-shot WHOIS↔RDAP check for a single
+// domain: fetch both sides (live, or from fixture files), parse the
+// WHOIS text with the model, and print the per-field verdicts.
+func cmdConsistency(args []string) {
+	fs := flag.NewFlagSet("consistency", flag.ExitOnError)
+	model := fs.String("model", "parser.model", "trained model file")
+	whoisFile := fs.String("whois-file", "", "read the WHOIS record text from this file instead of a live lookup")
+	rdapFile := fs.String("rdap-file", "", "read the RDAP domain object (JSON) from this file instead of a live lookup")
+	rdapURL := fs.String("rdap", "", "RDAP service base URL for the live lookup (e.g. a running rdapd)")
+	server := fs.String("server", "whois.verisign-grs.com", "registry WHOIS server for the live thick lookup")
+	timeout := fs.Duration("timeout", 15*time.Second, "overall deadline for the live lookups")
+	jsonOut := fs.Bool("json", false, "emit the full comparison as JSON instead of the table")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: whoisparse consistency [flags] <domain>")
+	}
+	domain := fs.Arg(0)
+
+	p, err := whoisparse.Load(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &consistency.Checker{Parse: p.Parse}
+	if *whoisFile != "" {
+		c.FetchWHOIS = fileWHOISFetcher(*whoisFile)
+	} else {
+		wc := &whoisclient.Client{
+			Resolver: whoisclient.ResolverFunc(resolveWHOISAddr),
+			Timeout:  *timeout,
+		}
+		reg := *server
+		c.FetchWHOIS = func(ctx context.Context, domain string) (string, error) {
+			return wc.LookupText(ctx, reg, domain)
+		}
+	}
+	if *rdapFile != "" {
+		c.FetchRDAP = fileRDAPFetcher(*rdapFile)
+	} else if *rdapURL != "" {
+		rc := &rdap.Client{BaseURL: strings.TrimRight(*rdapURL, "/")}
+		c.FetchRDAP = func(ctx context.Context, domain string) (*rdap.Domain, error) {
+			return rc.Lookup(domain)
+		}
+	} else {
+		log.Fatal("consistency needs an RDAP side: give -rdap (base URL) or -rdap-file")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := runConsistencyCheck(ctx, os.Stdout, c, domain, *jsonOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// resolveWHOISAddr maps a WHOIS server name to a dialable address,
+// appending the protocol's port 43 when none is given.
+func resolveWHOISAddr(name string) (string, error) {
+	if _, _, err := net.SplitHostPort(name); err == nil {
+		return name, nil
+	}
+	return net.JoinHostPort(name, "43"), nil
+}
+
+// fileWHOISFetcher answers every fetch with the file's text — the
+// offline WHOIS side of the check.
+func fileWHOISFetcher(path string) func(context.Context, string) (string, error) {
+	return func(context.Context, string) (string, error) {
+		data, err := os.ReadFile(path)
+		return string(data), err
+	}
+}
+
+// fileRDAPFetcher answers every fetch with the file's RDAP domain
+// object — the offline RDAP side of the check.
+func fileRDAPFetcher(path string) func(context.Context, string) (*rdap.Domain, error) {
+	return func(context.Context, string) (*rdap.Domain, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var d rdap.Domain
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &d, nil
+	}
+}
+
+// runConsistencyCheck performs the check and renders it — factored so
+// tests drive it with stub fetchers.
+func runConsistencyCheck(ctx context.Context, w io.Writer, c *consistency.Checker, domain string, asJSON bool) error {
+	res, err := c.Check(ctx, domain)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	renderConsistency(w, res)
+	return nil
+}
+
+// renderConsistency prints the per-field verdict table and the
+// agreement roll-up for one checked domain.
+func renderConsistency(w io.Writer, res *consistency.Result) {
+	fmt.Fprintf(w, "domain: %s\n", res.Domain)
+	fmt.Fprintf(w, "  %-19s %-14s %-36s %s\n", "field", "verdict", "whois", "rdap")
+	for f := consistency.Field(0); f < consistency.NumFields; f++ {
+		fmt.Fprintf(w, "  %-19s %-14s %-36s %s\n",
+			f.String(), res.Comparison.Verdicts[f].String(),
+			orDash(res.WHOIS.Value(f)), orDash(res.RDAP.Value(f)))
+	}
+	var counts [consistency.NumVerdicts]int
+	for _, v := range res.Comparison.Verdicts {
+		counts[v]++
+	}
+	missing := counts[consistency.MissingWHOIS] + counts[consistency.MissingRDAP] + counts[consistency.MissingBoth]
+	fmt.Fprintf(w, "agreement: %d equal, %d equivalent, %d missing, %d conflicting (disagreement rate %.1f%%)\n",
+		counts[consistency.Equal], counts[consistency.Equivalent], missing,
+		res.Comparison.Conflicts(), 100*res.Comparison.Rate())
+	if fields := res.Comparison.ConflictFields(); len(fields) > 0 {
+		names := make([]string, len(fields))
+		for i, f := range fields {
+			names[i] = f.String()
+		}
+		fmt.Fprintf(w, "conflicting fields: %s\n", strings.Join(names, ", "))
+	}
+}
+
+// orDash substitutes a dash for empty values so the table's columns
+// stay readable.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func cmdParse(args []string) {

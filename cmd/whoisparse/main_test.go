@@ -1,6 +1,19 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/rdap"
+	"repro/internal/synth"
+)
 
 func TestParseBlockName(t *testing.T) {
 	i, ok := parseBlockName("registrant")
@@ -18,5 +31,112 @@ func TestBlockName(t *testing.T) {
 	}
 	if blockName(99) != "?" {
 		t.Error("out of range should be ?")
+	}
+}
+
+// TestConsistencyCheckOffline drives the consistency subcommand's
+// factored core with the file fetchers: a rendered WHOIS fixture on one
+// side, the same registration's RDAP object (as JSON on disk) on the
+// other, and a faithful stub parse in between.
+func TestConsistencyCheckOffline(t *testing.T) {
+	d := synth.Generate(synth.Config{N: 1, Seed: 11})[0]
+	reg := &d.Reg
+	dir := t.TempDir()
+
+	whoisPath := filepath.Join(dir, "record.txt")
+	if err := os.WriteFile(whoisPath, []byte(d.Render().Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rdapPath := filepath.Join(dir, "domain.json")
+	blob, err := json.Marshal(rdap.FromRegistration(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rdapPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	parse := func(text string) *core.ParsedRecord {
+		return &core.ParsedRecord{
+			DomainName:  strings.ToLower(reg.Domain),
+			Registrar:   reg.RegistrarName,
+			CreatedDate: reg.Created.Format("02-Jan-2006"),
+			UpdatedDate: reg.Updated.Format("02-Jan-2006"),
+			ExpiresDate: reg.Expires.Format("02-Jan-2006"),
+			Registrant: core.Contact{
+				Name:    reg.Registrant.Name,
+				Email:   reg.Registrant.Email,
+				Country: reg.Registrant.CountryName,
+			},
+			NameServers: append([]string(nil), reg.NameServers...),
+			Statuses:    append([]string(nil), reg.Statuses...),
+		}
+	}
+	c := &consistency.Checker{
+		FetchWHOIS: fileWHOISFetcher(whoisPath),
+		FetchRDAP:  fileRDAPFetcher(rdapPath),
+		Parse:      parse,
+	}
+
+	var buf bytes.Buffer
+	if err := runConsistencyCheck(context.Background(), &buf, c, reg.Domain, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "domain: "+reg.Domain) {
+		t.Errorf("missing domain header:\n%s", out)
+	}
+	for _, field := range []string{"registrar", "created", "expires", "nameservers", "statuses"} {
+		if !strings.Contains(out, field) {
+			t.Errorf("field table missing %q:\n%s", field, out)
+		}
+	}
+	if strings.Contains(out, "conflicting fields:") {
+		t.Errorf("faithful fixture produced conflicts:\n%s", out)
+	}
+	if !strings.Contains(out, " 0 conflicting ") {
+		t.Errorf("agreement roll-up should report 0 conflicts:\n%s", out)
+	}
+
+	// The JSON form round-trips into a Result with the same verdicts.
+	buf.Reset()
+	if err := runConsistencyCheck(context.Background(), &buf, c, reg.Domain, true); err != nil {
+		t.Fatal(err)
+	}
+	var res consistency.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("json output unparseable: %v\n%s", err, buf.String())
+	}
+	if res.Domain != reg.Domain || res.Comparison.Conflicts() != 0 {
+		t.Errorf("json result = %+v", res.Comparison)
+	}
+
+	// A divergent parse surfaces its conflicts in the rendering.
+	c.Parse = func(text string) *core.ParsedRecord {
+		pr := parse(text)
+		pr.Registrar = "Somebody Else, Inc."
+		return pr
+	}
+	buf.Reset()
+	if err := runConsistencyCheck(context.Background(), &buf, c, reg.Domain, false); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "conflicting fields: registrar") {
+		t.Errorf("divergent registrar not reported:\n%s", out)
+	}
+
+	// Broken fixtures fail the check rather than scoring it.
+	c.FetchRDAP = fileRDAPFetcher(filepath.Join(dir, "missing.json"))
+	if err := runConsistencyCheck(context.Background(), &buf, c, reg.Domain, false); err == nil {
+		t.Error("missing RDAP fixture accepted")
+	}
+}
+
+func TestResolveWHOISAddr(t *testing.T) {
+	if got, _ := resolveWHOISAddr("whois.example.com"); got != "whois.example.com:43" {
+		t.Errorf("bare name -> %q", got)
+	}
+	if got, _ := resolveWHOISAddr("127.0.0.1:4343"); got != "127.0.0.1:4343" {
+		t.Errorf("host:port -> %q", got)
 	}
 }

@@ -23,6 +23,15 @@
 //	whoissurvey -model parser.model -synthetic 30000 [-store-out dir]
 //	whoissurvey -store dir
 //	whoissurvey -store dir -where 'registrar=GoDaddy.com, LLC,since=2014'
+//	whoissurvey -store dir -consistency -rdap-synthetic 30000 -seed 2
+//	whoissurvey -store dir -consistency -rdap http://127.0.0.1:8080 -where 'year=2012..2014'
+//
+// -consistency switches a -store run from surveying to cross-protocol
+// auditing: every stored WHOIS parse is compared field-by-field against
+// the domain's RDAP answer (live from -rdap URL, or regenerated ground
+// truth with -rdap-synthetic N) and the per-field / per-registrar
+// disagreement tables are printed. -where restricts the audited cohort
+// through the same pruned query engine as predicated surveys.
 package main
 
 import (
@@ -37,9 +46,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/rdap"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/survey"
@@ -64,6 +75,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address while the survey runs (empty disables)")
 	tieredMode := flag.Bool("tiered", false,
 		"parse via the L0 compiled-template fast path with CRF fallback (tiered.* in the final stats dump)")
+	consistencyMode := flag.Bool("consistency", false,
+		"with -store: audit stored WHOIS parses against RDAP instead of surveying (needs -rdap or -rdap-synthetic)")
+	rdapURL := flag.String("rdap", "", "with -consistency: fetch RDAP answers from this base URL")
+	rdapSynthetic := flag.Int("rdap-synthetic", 0,
+		"with -consistency: answer RDAP from the regenerated synthetic population of this size (pairs with -seed)")
 	flag.Parse()
 
 	// One registry for the whole run: CRF decode latency, parse-serving
@@ -92,7 +108,28 @@ func main() {
 	s := survey.New(nil)
 	showBlacklist := false
 
+	if *consistencyMode && *storeDir == "" {
+		log.Fatal("-consistency needs -store (the WHOIS side comes from a persisted record store)")
+	}
+
 	if *storeDir != "" {
+		if *consistencyMode {
+			var src consistency.RDAPSource
+			switch {
+			case *rdapURL != "" && *rdapSynthetic > 0:
+				log.Fatal("-rdap and -rdap-synthetic are mutually exclusive")
+			case *rdapURL != "":
+				src = consistency.ClientSource(&rdap.Client{BaseURL: strings.TrimRight(*rdapURL, "/")})
+			case *rdapSynthetic > 0:
+				src = consistency.SyntheticSource(*rdapSynthetic, *seed)
+			default:
+				log.Fatal("-consistency needs an RDAP side: -rdap URL or -rdap-synthetic N")
+			}
+			if err := runConsistency(os.Stdout, *storeDir, *where, src, reg); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if *where != "" {
 			if err := surveyWhere(*storeDir, *where, reg); err != nil {
 				log.Fatal(err)
@@ -223,6 +260,53 @@ func main() {
 			st.Templates, len(st.Demoted), st.L0Hits, st.L0Demoted, st.L1Fallbacks)
 	}
 	renderSurvey(os.Stdout, s, showBlacklist)
+}
+
+// runConsistency is the -consistency mode: audit the store's WHOIS
+// parses against src, restricted to the -where cohort, and print the
+// survey-style disagreement tables. The sentinel runs over the batch so
+// registrars whose windowed disagreement rate crosses the ceiling are
+// reported (and consistency.drift.* lands in the final stats dump).
+func runConsistency(w io.Writer, dir, where string, src consistency.RDAPSource, reg *obs.Registry) error {
+	var p query.Pred
+	if where != "" {
+		var err error
+		if p, err = query.ParsePred(where); err != nil {
+			return err
+		}
+	}
+	st, err := store.Open(dir, store.Options{Metrics: reg})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	e := query.New(st, query.Options{Metrics: reg})
+	if _, err := e.BuildAll(); err != nil {
+		log.Printf("sidecar build: %v (scan will fall back where needed)", err)
+	}
+
+	sen := consistency.NewSentinel(consistency.SentinelOptions{})
+	if reg != nil {
+		sen.Instrument(reg)
+	}
+	a := consistency.NewAuditor()
+	a.Sentinel = sen
+	scored, err := a.AuditStore(e, p, src)
+	if err != nil {
+		return err
+	}
+	s := a.Summary()
+	log.Printf("where %s: audited %d records, skipped %d (no parse or no RDAP answer)", p, scored, s.Skipped)
+
+	fmt.Fprintf(w, "Cross-protocol audit — %d records, %d with conflicts, disagreement rate %.2f%%\n\n",
+		s.Records, s.Conflicted, 100*s.Rate)
+	fmt.Fprintln(w, s.FieldTable())
+	fmt.Fprintln(w, s.VerdictTable())
+	fmt.Fprintln(w, s.RegistrarTable(10))
+	if len(s.Flagged) > 0 {
+		fmt.Fprintf(w, "drift-flagged registrars: %s\n", strings.Join(s.Flagged, ", "))
+	}
+	return nil
 }
 
 // surveyWhere surveys the subset of a store matching a predicate through

@@ -5,10 +5,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/rdap"
 	"repro/internal/store"
 	"repro/internal/survey"
+	"repro/internal/synth"
+	"repro/internal/templates"
 )
 
 func TestReadRecords(t *testing.T) {
@@ -57,6 +63,124 @@ func TestReadRecordsLegacyHeaderWithoutRegistrar(t *testing.T) {
 	}
 	if recs["c.com"].registrar != "" {
 		t.Errorf("registrar %q, want empty", recs["c.com"].registrar)
+	}
+}
+
+// faithfulParse builds the parsed record a perfect pipeline would
+// extract for a registration, for consistency-mode tests that need a
+// store without training a CRF.
+func faithfulParse(reg *templates.Registration) *core.ParsedRecord {
+	return &core.ParsedRecord{
+		DomainName:  strings.ToLower(reg.Domain),
+		Registrar:   reg.RegistrarName,
+		CreatedDate: reg.Created.Format("02-Jan-2006"),
+		UpdatedDate: reg.Updated.Format("02-Jan-2006"),
+		ExpiresDate: reg.Expires.Format("02-Jan-2006"),
+		Registrant: core.Contact{
+			Name:    reg.Registrant.Name,
+			Email:   reg.Registrant.Email,
+			Country: reg.Registrant.CountryName,
+		},
+		NameServers: append([]string(nil), reg.NameServers...),
+		Statuses:    append([]string(nil), reg.Statuses...),
+	}
+}
+
+// TestRunConsistency drives the -consistency mode end to end over a
+// synthetic store: a faithful RDAP source audits clean, a divergent one
+// surfaces conflicts, flags the drifting registrar, and honors -where.
+func TestRunConsistency(t *testing.T) {
+	const n, seed = 200, 5
+	domains := synth.Generate(synth.Config{N: n, Seed: seed, BrandFraction: 0.02})
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range domains {
+		pr := faithfulParse(&d.Reg)
+		if err := st.Append(&store.Record{Domain: d.Reg.Domain, Parsed: pr, Facts: survey.FactsFrom(pr, false)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var clean bytes.Buffer
+	if err := runConsistency(&clean, dir, "", consistency.SyntheticSource(n, seed), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := clean.String()
+	if !strings.Contains(out, fmt.Sprintf("%d records, 0 with conflicts", n)) {
+		t.Errorf("clean audit output:\n%s", out)
+	}
+	if strings.Contains(out, "drift-flagged") {
+		t.Errorf("clean audit flagged registrars:\n%s", out)
+	}
+	for _, want := range []string{"Cross-protocol conflicts by field", "Agreement taxonomy", "Cross-protocol conflicts by registrar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Divergent RDAP: the busiest registrar's expiry slips a year.
+	counts := map[string]int{}
+	for _, d := range domains {
+		counts[d.Reg.RegistrarName]++
+	}
+	target, best := "", 0
+	for name, c := range counts {
+		if c > best {
+			target, best = name, c
+		}
+	}
+	base := consistency.SyntheticSource(n, seed)
+	divergent := consistency.RDAPSource(func(domain string) (*rdap.Domain, bool) {
+		d, ok := base(domain)
+		if !ok || d.RegistrarName() != target {
+			return d, ok
+		}
+		mut := *d
+		mut.Events = append([]rdap.Event(nil), d.Events...)
+		for i := range mut.Events {
+			if mut.Events[i].EventAction == "expiration" {
+				mut.Events[i].EventDate = mut.Events[i].EventDate.AddDate(1, 0, 0)
+			}
+		}
+		return &mut, true
+	})
+	var drift bytes.Buffer
+	if err := runConsistency(&drift, dir, "", divergent, nil); err != nil {
+		t.Fatal(err)
+	}
+	out = drift.String()
+	if !strings.Contains(out, "drift-flagged registrars: "+target) {
+		t.Errorf("divergent audit did not flag %s:\n%s", target, out)
+	}
+	if strings.Contains(out, " 0 with conflicts") {
+		t.Errorf("divergent audit reported no conflicts:\n%s", out)
+	}
+
+	// A -where cohort excluding the divergent registrar audits clean.
+	other := ""
+	for name := range counts {
+		if name != target {
+			other = name
+			break
+		}
+	}
+	var cohort bytes.Buffer
+	if err := runConsistency(&cohort, dir, "registrar="+other, divergent, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out := cohort.String(); !strings.Contains(out, " 0 with conflicts") {
+		t.Errorf("cohort audit of %s found conflicts:\n%s", other, out)
+	}
+
+	// Bad predicates and unreadable RDAP sides surface as errors.
+	if err := runConsistency(&cohort, dir, "bogus=1", divergent, nil); err == nil {
+		t.Error("bad predicate accepted")
 	}
 }
 

@@ -1,0 +1,49 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/rdap"
+	"repro/internal/synth"
+)
+
+// benchPairs builds paired views from the deterministic synthetic
+// population — the comparison workload without any CRF in the loop.
+func benchPairs(n int) ([]FieldView, []FieldView) {
+	ws := make([]FieldView, n)
+	rs := make([]FieldView, n)
+	for i, d := range synth.Generate(synth.Config{N: n, Seed: 1234}) {
+		ws[i] = FromWHOIS(parsedFromReg(&d.Reg))
+		rs[i] = FromRDAP(rdap.FromRegistration(&d.Reg))
+	}
+	return ws, rs
+}
+
+// BenchmarkConsistencyCheck measures one full field comparison: both
+// normalization passes plus the per-field taxonomy classification.
+func BenchmarkConsistencyCheck(b *testing.B) {
+	ws, rs := benchPairs(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(ws)
+		c := Compare(ws[k], rs[k])
+		if c.Domain == "" {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkConsistencyBatch measures the batch-audit aggregation path:
+// compare plus auditor and sentinel accumulation per record.
+func BenchmarkConsistencyBatch(b *testing.B) {
+	ws, rs := benchPairs(64)
+	a := NewAuditor()
+	a.Sentinel = NewSentinel(SentinelOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(ws)
+		a.Observe(Compare(ws[k], rs[k]))
+	}
+}

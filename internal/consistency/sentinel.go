@@ -1,0 +1,204 @@
+package consistency
+
+import (
+	"sync"
+
+	"repro/internal/norm"
+	"repro/internal/obs"
+)
+
+// SentinelOptions tune the drift sentinel. Zero values take defaults.
+type SentinelOptions struct {
+	// Window is the per-registrar sliding window size (default 32).
+	Window int
+	// MinWindow is the minimum observations before a registrar can be
+	// flagged (default 8) — a single conflicted record is not drift.
+	MinWindow int
+	// ConflictCeiling flags a registrar when its windowed mean
+	// disagreement rate exceeds it (default 0.10).
+	ConflictCeiling float64
+	// OnDrift, when non-nil, is called on every flag transition with the
+	// registrar's display name, its new flagged state, and the windowed
+	// mean rate that triggered the transition. Called with the sentinel's
+	// lock released.
+	OnDrift func(registrar string, flagged bool, rate float64)
+}
+
+func (o SentinelOptions) withDefaults() SentinelOptions {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 8
+	}
+	if o.MinWindow > o.Window {
+		o.MinWindow = o.Window
+	}
+	if o.ConflictCeiling <= 0 {
+		o.ConflictCeiling = 0.10
+	}
+	return o
+}
+
+// Sentinel watches cross-protocol agreement per registrar, the same way
+// the lifecycle sentinel watches parse quality: disagreement is registrar
+// drift — one registrar changes its WHOIS output (or its RDAP deployment
+// lags a data migration) and consistency quietly degrades there while the
+// aggregate rate barely moves. Each registrar keeps a sliding window of
+// per-record disagreement rates; a registrar is flagged when the windowed
+// mean crosses the ceiling and unflagged when it recovers. Transitions,
+// not levels, fire OnDrift and the flag_events counters.
+type Sentinel struct {
+	opts SentinelOptions
+	met  *sentinelMetrics
+
+	mu    sync.Mutex
+	wins  map[string]*ring  // norm.Registrar key → window
+	names map[string]string // norm.Registrar key → first-seen display name
+	flags map[string]bool   // norm.Registrar key → flagged
+}
+
+type sentinelMetrics struct {
+	observations *obs.Counter
+	conflicts    *obs.Counter
+	flagEvents   *obs.Counter
+	unflagEvents *obs.Counter
+	flagged      *obs.Gauge
+}
+
+// ring is a fixed-capacity sliding window with a running sum (O(1) mean),
+// mirroring the lifecycle sentinel's window.
+type ring struct {
+	buf  []float64
+	n    int
+	next int
+	sum  float64
+}
+
+func (r *ring) push(v float64) {
+	if r.n == len(r.buf) {
+		r.sum -= r.buf[r.next]
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = v
+	r.sum += v
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+func (r *ring) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// NewSentinel creates a sentinel with the given options.
+func NewSentinel(opts SentinelOptions) *Sentinel {
+	return &Sentinel{
+		opts:  opts.withDefaults(),
+		wins:  map[string]*ring{},
+		names: map[string]string{},
+		flags: map[string]bool{},
+	}
+}
+
+// Instrument wires the sentinel into reg under consistency.drift.*:
+// observations/conflicts count records seen and records with at least one
+// conflicting field, flag_events/unflag_events count transitions, and
+// flagged gauges the number of currently flagged registrars. Call once,
+// before the sentinel is shared.
+func (s *Sentinel) Instrument(reg *obs.Registry) {
+	s.met = &sentinelMetrics{
+		observations: reg.Counter("consistency.drift.observations"),
+		conflicts:    reg.Counter("consistency.drift.conflicts"),
+		flagEvents:   reg.Counter("consistency.drift.flag_events"),
+		unflagEvents: reg.Counter("consistency.drift.unflag_events"),
+		flagged:      reg.Gauge("consistency.drift.flagged"),
+	}
+}
+
+// Observe feeds one comparison into its registrar's window and reports
+// whether the registrar's flag transitioned. Comparisons with no
+// comparable fields are counted but do not move any window — no evidence
+// either way.
+func (s *Sentinel) Observe(c Comparison) (flagged, unflagged bool) {
+	if s.met != nil {
+		s.met.observations.Inc()
+		if c.Conflicts() > 0 {
+			s.met.conflicts.Inc()
+		}
+	}
+	if c.Comparable() == 0 {
+		return false, false
+	}
+	key := norm.Registrar(c.Registrar)
+	rate := c.Rate()
+
+	s.mu.Lock()
+	w := s.wins[key]
+	if w == nil {
+		w = &ring{buf: make([]float64, s.opts.Window)}
+		s.wins[key] = w
+		s.names[key] = c.Registrar
+	}
+	w.push(rate)
+	var mean float64
+	var total int
+	if w.n >= s.opts.MinWindow {
+		mean = w.mean()
+		was := s.flags[key]
+		drifting := mean > s.opts.ConflictCeiling
+		switch {
+		case drifting && !was:
+			s.flags[key] = true
+			flagged = true
+		case !drifting && was:
+			delete(s.flags, key)
+			unflagged = true
+		}
+	}
+	total = len(s.flags)
+	name := s.names[key]
+	s.mu.Unlock()
+
+	if flagged || unflagged {
+		if s.met != nil {
+			if flagged {
+				s.met.flagEvents.Inc()
+			} else {
+				s.met.unflagEvents.Inc()
+			}
+			s.met.flagged.Set(int64(total))
+		}
+		if s.opts.OnDrift != nil {
+			s.opts.OnDrift(name, flagged, mean)
+		}
+	}
+	return flagged, unflagged
+}
+
+// Flagged returns the display names of currently flagged registrars,
+// unordered.
+func (s *Sentinel) Flagged() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.flags))
+	for key := range s.flags {
+		out = append(out, s.names[key])
+	}
+	return out
+}
+
+// Reset clears all windows and flags — after a parser promotion or an
+// RDAP data migration, old evidence says nothing about the new state.
+func (s *Sentinel) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wins = map[string]*ring{}
+	s.names = map[string]string{}
+	s.flags = map[string]bool{}
+	if s.met != nil {
+		s.met.flagged.Set(0)
+	}
+}

@@ -311,6 +311,14 @@ type ParsedRecord struct {
 	UpdatedDate  string
 	ExpiresDate  string
 
+	// NameServers and Statuses collect the delegation and EPP status
+	// lines of the domain block, verbatim and in record order. The
+	// cross-protocol consistency engine compares them against the RDAP
+	// nameservers/status arrays; unlike the scalar fields above they are
+	// naturally multi-valued, so every matching line is kept.
+	NameServers []string
+	Statuses    []string
+
 	// ModelVersion identifies the model that produced this record, when a
 	// lifecycle layer stamps it (internal/lifecycle; "" otherwise). WHOIS
 	// formats drift and models are retrained while serving (§5.1), so a
@@ -343,6 +351,8 @@ func (pr *ParsedRecord) Clone() *ParsedRecord {
 	out.Lines = append([]tokenize.Line(nil), pr.Lines...)
 	out.Blocks = append([]labels.Block(nil), pr.Blocks...)
 	out.Fields = append([]labels.Field(nil), pr.Fields...)
+	out.NameServers = append([]string(nil), pr.NameServers...)
+	out.Statuses = append([]string(nil), pr.Statuses...)
 	return &out
 }
 
@@ -463,9 +473,23 @@ func extract(out *ParsedRecord) {
 				setFirst(&out.Registrar, val)
 			}
 		case labels.Domain:
-			if out.DomainName == "" && val != "" &&
-				containsFold(ln.Title, "domain") && strings.Contains(val, ".") {
-				out.DomainName = strings.ToLower(val)
+			title := ln.Title
+			// Multi-valued lines first: "Domain Name Servers" and "Domain
+			// Status" titles contain "domain" and must not be mistaken for
+			// the domain-name line.
+			switch {
+			case val != "" && !containsFold(title, "whois") && !containsFold(title, "dnssec") &&
+				(containsFold(title, "name server") || containsFold(title, "nameserver") ||
+					containsFold(title, "nserver") || containsFold(title, "dns")):
+				// "dnssec" is excluded: a "DNSSEC: unsigned" title contains
+				// "dns" but its value is a signing state, not a host.
+				out.NameServers = append(out.NameServers, val)
+			case val != "" && containsFold(title, "status"):
+				out.Statuses = append(out.Statuses, val)
+			case containsFold(title, "domain") && strings.Contains(val, "."):
+				if out.DomainName == "" && val != "" {
+					out.DomainName = strings.ToLower(val)
+				}
 			}
 		case labels.Date:
 			if !containsYear(val) {

@@ -125,6 +125,77 @@ func TestParseExtractionFidelity(t *testing.T) {
 	}
 }
 
+func TestExtractDomainBlockMultiValues(t *testing.T) {
+	mk := func(raw string) tokenize.Line {
+		title, value, _ := tokenize.SplitTitleValue(raw)
+		return tokenize.Line{Raw: raw, Title: title, Value: value}
+	}
+	pr := &ParsedRecord{
+		Lines: []tokenize.Line{
+			mk("Domain Name: EXAMPLE.COM"),
+			mk("Domain Status: clientTransferProhibited https://icann.org/epp"),
+			mk("Name Server: NS1.EXAMPLE.NET"),
+			mk("Name Server: NS2.EXAMPLE.NET"),
+			mk("Domain Name Servers: ns3.example.net"),
+			mk("Nserver: ns4.example.net"),
+			mk("Status: ok"),
+			mk("DNSSEC: unsigned"),
+			mk("Registrar WHOIS Server: whois.example-registrar.com"),
+		},
+		Blocks: []labels.Block{
+			labels.Domain, labels.Domain, labels.Domain, labels.Domain,
+			labels.Domain, labels.Domain, labels.Domain, labels.Domain, labels.Registrar,
+		},
+		Fields: make([]labels.Field, 9),
+	}
+	pr.ExtractFields()
+	if pr.DomainName != "example.com" {
+		t.Errorf("DomainName = %q", pr.DomainName)
+	}
+	wantNS := []string{"NS1.EXAMPLE.NET", "NS2.EXAMPLE.NET", "ns3.example.net", "ns4.example.net"}
+	if strings.Join(pr.NameServers, "|") != strings.Join(wantNS, "|") {
+		t.Errorf("NameServers = %v, want %v", pr.NameServers, wantNS)
+	}
+	wantSt := []string{"clientTransferProhibited https://icann.org/epp", "ok"}
+	if strings.Join(pr.Statuses, "|") != strings.Join(wantSt, "|") {
+		t.Errorf("Statuses = %v, want %v", pr.Statuses, wantSt)
+	}
+	// The multi-value slices must be deep-copied by Clone.
+	cl := pr.Clone()
+	cl.NameServers[0] = "mutated"
+	cl.Statuses[0] = "mutated"
+	if pr.NameServers[0] == "mutated" || pr.Statuses[0] == "mutated" {
+		t.Error("mutating clone's multi-values leaked into original")
+	}
+}
+
+func TestParseExtractsNameServers(t *testing.T) {
+	p := getParser(t)
+	domains := synth.Generate(synth.Config{N: 200, Seed: 207})
+	var withNS, gotNS int
+	for _, d := range domains {
+		if len(d.Reg.NameServers) == 0 {
+			continue
+		}
+		text := d.Render().Text
+		// Bare (untitled) nameserver lines carry no title to key on;
+		// count only records with a titled nameserver line.
+		if !strings.Contains(strings.ToLower(text), "server") && !strings.Contains(text, "Nserver") {
+			continue
+		}
+		withNS++
+		if len(p.Parse(text).NameServers) > 0 {
+			gotNS++
+		}
+	}
+	if withNS == 0 {
+		t.Fatal("no synthetic records with titled nameserver lines")
+	}
+	if rate := float64(gotNS) / float64(withNS); rate < 0.7 {
+		t.Errorf("nameserver extraction rate %.3f (%d/%d), want >= 0.7", rate, gotNS, withNS)
+	}
+}
+
 func TestParsedRecordClone(t *testing.T) {
 	p := getParser(t)
 	d := synth.Generate(synth.Config{N: 1, Seed: 206})[0]

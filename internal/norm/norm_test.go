@@ -1,0 +1,122 @@
+package norm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseDateFormats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // DateKey form; "" = unparseable
+	}{
+		{"2014-03-05T12:00:00Z", "2014-03-05"},
+		{"2014-03-05 12:00:00", "2014-03-05"},
+		{"2014-03-05", "2014-03-05"},
+		{"05-Mar-2014", "2014-03-05"},
+		{"05-Mar-2014 12:00:00 UTC", "2014-03-05"},
+		{"2014/03/05", "2014-03-05"},
+		{"05/03/2014", "2014-03-05"},
+		{"05.03.2014", "2014-03-05"},
+		{"2014.03.05", "2014-03-05"},
+		{"Mar 05, 2014", "2014-03-05"},
+		{"March 5, 2014", "2014-03-05"},
+		{"5 March 2014", "2014-03-05"},
+		{"20140305", "2014-03-05"},
+		{"2014-03-05T12:00:00+02:00", "2014-03-05"},
+		{"created sometime in 2014 maybe", "2014-01-01"}, // year-scan fallback
+		{"", ""},
+		{"not a date", ""},
+		{"12345678901", ""}, // digits adjacent to a plausible year
+	}
+	for _, c := range cases {
+		if got := DateKey(c.in); got != c.want {
+			t.Errorf("DateKey(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDateValue(t *testing.T) {
+	tm, ok := ParseDate("05-Mar-2014 13:14:15 UTC")
+	if !ok {
+		t.Fatal("ParseDate failed")
+	}
+	want := time.Date(2014, 3, 5, 13, 14, 15, 0, time.UTC)
+	if !tm.Equal(want) {
+		t.Errorf("ParseDate = %v, want %v", tm, want)
+	}
+}
+
+func TestRegistrar(t *testing.T) {
+	cases := [][2]string{
+		{"GoDaddy.com, LLC", "godaddy com llc"},
+		{"GODADDY.COM  LLC", "godaddy com llc"},
+		{"  eNom, Inc. ", "enom inc"},
+		{"", ""},
+		{"---", ""},
+		{"Network Solutions", "network solutions"},
+	}
+	for _, c := range cases {
+		if got := Registrar(c[0]); got != c[1] {
+			t.Errorf("Registrar(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+	if Registrar("GoDaddy.com, LLC") != Registrar("godaddy com LLC") {
+		t.Error("case/punct variants should fold together")
+	}
+	if Registrar("eNom") == Registrar("Tucows") {
+		t.Error("distinct registrars must stay apart")
+	}
+}
+
+func TestEmailHost(t *testing.T) {
+	if got := Email("  Admin@Example.COM "); got != "admin@example.com" {
+		t.Errorf("Email = %q", got)
+	}
+	if got := Host("NS1.Example.COM."); got != "ns1.example.com" {
+		t.Errorf("Host = %q", got)
+	}
+	got := Hosts([]string{"NS2.example.com", "ns1.EXAMPLE.com.", "ns1.example.com", "..", ""})
+	want := []string{"ns1.example.com", "ns2.example.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Hosts = %v, want %v", got, want)
+	}
+}
+
+func TestStatus(t *testing.T) {
+	cases := [][2]string{
+		{"clientTransferProhibited", "clienttransferprohibited"},
+		{"client transfer prohibited", "clienttransferprohibited"},
+		{"clientTransferProhibited https://icann.org/epp#clientTransferProhibited", "clienttransferprohibited"},
+		{"ok (active)", "ok"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Status(c[0]); got != c[1] {
+			t.Errorf("Status(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+	got := Statuses([]string{"clientHold", "CLIENTHOLD", "serverHold"})
+	want := []string{"clienthold", "serverhold"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Statuses = %v, want %v", got, want)
+	}
+}
+
+func TestCountry(t *testing.T) {
+	for _, in := range []string{"US", "us", "USA", "United States", "united states of america"} {
+		if got := Country(in); got != "United States" {
+			t.Errorf("Country(%q) = %q", in, got)
+		}
+	}
+	if got := Country("Atlantis"); got != "" {
+		t.Errorf("Country(Atlantis) = %q, want empty", got)
+	}
+	if got := CountryKey("Atlantis"); got != "atlantis" {
+		t.Errorf("CountryKey(Atlantis) = %q, want folded text", got)
+	}
+	if CountryKey("US") != CountryKey("United States") {
+		t.Error("CountryKey should fold code and name together")
+	}
+}

@@ -28,7 +28,11 @@ type Pred struct {
 	Country   string // canonical country name; "" = any
 	Year      int    // exact creation year (0 = unknown year); gated by HasYear
 	HasYear   bool
-	Since     int // CreatedYear >= Since; 0 = any
+	// YearTo turns the year condition into an inclusive range
+	// [Year, YearTo] ("year=2012..2014"). 0 = exact-year semantics.
+	// Only ever set alongside HasYear, with 1 <= Year <= YearTo.
+	YearTo int
+	Since  int // CreatedYear >= Since; 0 = any
 }
 
 // IsEmpty reports whether the predicate matches every record.
@@ -44,8 +48,14 @@ func (p Pred) Match(f *survey.Facts) bool {
 	if p.Country != "" && f.Country != p.Country {
 		return false
 	}
-	if p.HasYear && f.CreatedYear != p.Year {
-		return false
+	if p.HasYear {
+		if p.YearTo > 0 {
+			if f.CreatedYear < p.Year || f.CreatedYear > p.YearTo {
+				return false
+			}
+		} else if f.CreatedYear != p.Year {
+			return false
+		}
 	}
 	if p.Since > 0 && f.CreatedYear < p.Since {
 		return false
@@ -63,7 +73,11 @@ func (p Pred) String() string {
 		parts = append(parts, "country="+p.Country)
 	}
 	if p.HasYear {
-		parts = append(parts, "year="+strconv.Itoa(p.Year))
+		if p.YearTo > 0 {
+			parts = append(parts, "year="+strconv.Itoa(p.Year)+".."+strconv.Itoa(p.YearTo))
+		} else {
+			parts = append(parts, "year="+strconv.Itoa(p.Year))
+		}
 	}
 	if p.Since > 0 {
 		parts = append(parts, "since="+strconv.Itoa(p.Since))
@@ -75,7 +89,9 @@ func (p Pred) String() string {
 }
 
 // ParsePred parses the -where syntax: comma-separated key=value pairs,
-// keys being registrar, country, year, and since. A comma inside a value
+// keys being registrar, country, year, and since. year accepts either an
+// exact year ("year=2014") or an inclusive range ("year=2012..2014").
+// A comma inside a value
 // — "registrar=GoDaddy.com, LLC" — is handled by joining any chunk
 // without '=' onto the previous value. Country values are canonicalized
 // ("US" → "United States"); values that don't canonicalize are kept
@@ -122,6 +138,17 @@ func ParsePred(s string) (Pred, error) {
 		case "year":
 			if p.HasYear {
 				return Pred{}, fmt.Errorf("query: duplicate key %q", k)
+			}
+			if lo, hi, ok := strings.Cut(v, ".."); ok {
+				nlo, errLo := strconv.Atoi(strings.TrimSpace(lo))
+				nhi, errHi := strconv.Atoi(strings.TrimSpace(hi))
+				// Range years start at 1: year=0 means "no parseable
+				// year", which a range cannot meaningfully include.
+				if errLo != nil || errHi != nil || nlo < 1 || nhi > 9999 || nlo > nhi {
+					return Pred{}, fmt.Errorf("query: bad year range %q", v)
+				}
+				p.Year, p.YearTo, p.HasYear = nlo, nhi, true
+				break
 			}
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 || n > 9999 {

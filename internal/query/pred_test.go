@@ -19,6 +19,10 @@ func TestParsePred(t *testing.T) {
 		{"country=Narnia", Pred{Country: "Narnia"}}, // non-canonical kept verbatim
 		{"year=2014", Pred{Year: 2014, HasYear: true}},
 		{"year=0", Pred{HasYear: true}},
+		{"year=2012..2014", Pred{Year: 2012, YearTo: 2014, HasYear: true}},
+		{"year=2012 .. 2014", Pred{Year: 2012, YearTo: 2014, HasYear: true}},
+		{"year=2012..2012", Pred{Year: 2012, YearTo: 2012, HasYear: true}},
+		{"registrar=eNom,year=2010..2020", Pred{Registrar: "eNom", Year: 2010, YearTo: 2020, HasYear: true}},
 		{"since=2010", Pred{Since: 2010}},
 		{" registrar = eNom , since = 2012 ", Pred{Registrar: "eNom", Since: 2012}},
 		{"registrar=eNom,country=CN,year=2014,since=2000",
@@ -43,6 +47,12 @@ func TestParsePredErrors(t *testing.T) {
 		"bogus=1",             // unknown key
 		"year=abc",            // non-numeric
 		"year=10000",          // out of range
+		"year=2014..2012",     // inverted range
+		"year=0..2014",        // range years start at 1
+		"year=2012..10000",    // range end out of range
+		"year=2012..",         // missing range end
+		"year=..2014",         // missing range start
+		"year=a..b",           // non-numeric range
 		"since=0",             // since must be positive
 		"since=2010,since=11", // duplicate
 		"registrar=a,registrar=b",
@@ -70,6 +80,11 @@ func TestPredMatch(t *testing.T) {
 		{Pred{Since: 2013}, false},
 		{Pred{Registrar: "eNom", Country: "China", Since: 2000}, true},
 		{Pred{Registrar: "eNom", Country: "China", Year: 2013, HasYear: true}, false},
+		{Pred{Year: 2010, YearTo: 2014, HasYear: true}, true},
+		{Pred{Year: 2012, YearTo: 2012, HasYear: true}, true},
+		{Pred{Year: 2013, YearTo: 2014, HasYear: true}, false},
+		{Pred{Year: 2000, YearTo: 2011, HasYear: true}, false},
+		{Pred{Registrar: "eNom", Year: 2010, YearTo: 2014, HasYear: true}, true},
 	}
 	for _, c := range cases {
 		if got := c.p.Match(&f); got != c.want {
@@ -90,9 +105,14 @@ func TestPredString(t *testing.T) {
 	if got := (Pred{}).String(); got != "(all)" {
 		t.Errorf("empty Pred String = %q", got)
 	}
-	p := Pred{Registrar: "eNom", Country: "China", Year: 2014, HasYear: true, Since: 2000}
-	round, err := ParsePred(p.String())
-	if err != nil || round != p {
-		t.Errorf("Pred round trip via String: %+v -> %q -> %+v (%v)", p, p.String(), round, err)
+	for _, p := range []Pred{
+		{Registrar: "eNom", Country: "China", Year: 2014, HasYear: true, Since: 2000},
+		{Year: 2012, YearTo: 2014, HasYear: true},
+		{Registrar: "eNom", Year: 2010, YearTo: 2020, HasYear: true, Since: 2012},
+	} {
+		round, err := ParsePred(p.String())
+		if err != nil || round != p {
+			t.Errorf("Pred round trip via String: %+v -> %q -> %+v (%v)", p, p.String(), round, err)
+		}
 	}
 }

@@ -502,6 +502,9 @@ func planPostings(x *Index, p Pred) ([]Posting, bool) {
 	}
 	if x.Year != nil {
 		switch {
+		case p.HasYear && p.YearTo > 0:
+			lists = append(lists, unionRange(x.Year, p.Year, p.YearTo))
+			usable = true
 		case p.HasYear:
 			lists = append(lists, x.Year[p.Year])
 			usable = true
@@ -527,6 +530,19 @@ func unionSince(years map[int][]Posting, since int) []Posting {
 	var out []Posting
 	for y, ps := range years {
 		if y >= since {
+			out = append(out, ps...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return postingLess(out[i], out[j]) })
+	return out
+}
+
+// unionRange merges the postings of every year in [lo, hi] back into
+// (Off, Idx) order — the year-range predicate's seek path.
+func unionRange(years map[int][]Posting, lo, hi int) []Posting {
+	var out []Posting
+	for y, ps := range years {
+		if y >= lo && y <= hi {
 			out = append(out, ps...)
 		}
 	}

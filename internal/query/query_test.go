@@ -129,6 +129,10 @@ func differentialPreds() []Pred {
 		{Year: 2014, HasYear: true},
 		{Year: 0, HasYear: true}, // unknown creation year
 		{Year: 1890, HasYear: true},
+		{Year: 2010, YearTo: 2014, HasYear: true},
+		{Year: 2012, YearTo: 2012, HasYear: true}, // degenerate range
+		{Year: 1890, YearTo: 1900, HasYear: true}, // empty range
+		{Year: 1, YearTo: 9999, HasYear: true},    // everything with a year
 		{Since: 2010},
 		{Since: 2031},
 		{Registrar: "eNom", Country: "United States"},
@@ -138,6 +142,8 @@ func differentialPreds() []Pred {
 		{Country: "Japan", Since: 2008},
 		{Registrar: "Tucows Domains Inc.", Since: 2000, Country: "United Kingdom"},
 		{Registrar: "PDR Ltd.", Country: "China", Year: 2012, HasYear: true, Since: 2011},
+		{Registrar: "eNom", Year: 2008, YearTo: 2012, HasYear: true},
+		{Country: "United States", Year: 2000, YearTo: 2010, HasYear: true, Since: 2005},
 	}
 }
 

@@ -106,12 +106,22 @@ func (z *ZoneMap) MayMatch(p Pred) bool {
 		return false
 	}
 	if p.HasYear {
-		if p.Year == 0 {
+		switch {
+		case p.YearTo > 0:
+			// Range [Year, YearTo]: prune only when it cannot overlap the
+			// segment's [MinYear, MaxYear] (ranges never match year-0
+			// records, so YearZero does not keep the segment alive).
+			if z.MaxYear == 0 || p.YearTo < z.MinYear || p.Year > z.MaxYear {
+				return false
+			}
+		case p.Year == 0:
 			if !z.YearZero {
 				return false
 			}
-		} else if z.MaxYear == 0 || p.Year < z.MinYear || p.Year > z.MaxYear {
-			return false
+		default:
+			if z.MaxYear == 0 || p.Year < z.MinYear || p.Year > z.MaxYear {
+				return false
+			}
 		}
 	}
 	if p.Since > 0 && z.MaxYear < p.Since {

@@ -219,12 +219,50 @@ func flattenVCard(v []any) Contact {
 	return c
 }
 
-// RegistrationDate returns the "registration" event date, if present.
-func (d *Domain) RegistrationDate() (time.Time, bool) {
+// EventDate returns the date of the first event carrying the action
+// ("registration", "expiration", "last changed"), if present.
+func (d *Domain) EventDate(action string) (time.Time, bool) {
 	for _, e := range d.Events {
-		if e.EventAction == "registration" {
+		if e.EventAction == action {
 			return e.EventDate, true
 		}
 	}
 	return time.Time{}, false
+}
+
+// RegistrationDate returns the "registration" event date, if present.
+func (d *Domain) RegistrationDate() (time.Time, bool) {
+	return d.EventDate("registration")
+}
+
+// ExpirationDate returns the "expiration" event date, if present.
+func (d *Domain) ExpirationDate() (time.Time, bool) {
+	return d.EventDate("expiration")
+}
+
+// LastChangedDate returns the "last changed" event date, if present.
+func (d *Domain) LastChangedDate() (time.Time, bool) {
+	return d.EventDate("last changed")
+}
+
+// RegistrarName returns the registrar entity's display name (jCard fn),
+// or "" when the domain carries no registrar entity.
+func (d *Domain) RegistrarName() string {
+	e := d.EntityByRole("registrar")
+	if e == nil {
+		return ""
+	}
+	return flattenVCard(e.VCardArray).Name
+}
+
+// NameserverNames returns the delegated nameserver LDH names in order.
+func (d *Domain) NameserverNames() []string {
+	if len(d.Nameservers) == 0 {
+		return nil
+	}
+	out := make([]string, len(d.Nameservers))
+	for i, ns := range d.Nameservers {
+		out[i] = ns.LDHName
+	}
+	return out
 }

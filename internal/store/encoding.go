@@ -82,15 +82,20 @@ type Record struct {
 	Facts  survey.Facts
 }
 
-// Payload flag bits. flagHasModelVersion gates a field appended at the
-// very end of the payload, so records written before it existed (and
-// records parsed by an unversioned model) decode unchanged.
+// Payload flag bits. flagHasModelVersion and flagHasDomainMeta gate
+// fields appended at the very end of the payload (in that order), so
+// records written before either existed decode unchanged.
 const (
 	flagPrivacy         = 1 << 0
 	flagBlacklisted     = 1 << 1
 	flagHasParsed       = 1 << 2
 	flagHasText         = 1 << 3
 	flagHasModelVersion = 1 << 4
+	// flagHasDomainMeta gates the parsed record's NameServers and
+	// Statuses lists — the domain-block multi-values the consistency
+	// engine compares against RDAP. Only ever set alongside
+	// flagHasParsed.
+	flagHasDomainMeta = 1 << 5
 )
 
 // recordKind tags the payload type, leaving room for future frame kinds
@@ -134,6 +139,9 @@ func appendRecord(buf []byte, rec *Record) []byte {
 	if modelVersion != "" {
 		flags |= flagHasModelVersion
 	}
+	if rec.Parsed != nil && (len(rec.Parsed.NameServers) > 0 || len(rec.Parsed.Statuses) > 0) {
+		flags |= flagHasDomainMeta
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, rec.Domain)
 	buf = appendString(buf, rec.Facts.Registrar)
@@ -161,6 +169,18 @@ func appendRecord(buf []byte, rec *Record) []byte {
 	}
 	if modelVersion != "" {
 		buf = appendString(buf, modelVersion)
+	}
+	if flags&flagHasDomainMeta != 0 {
+		buf = appendStrings(buf, rec.Parsed.NameServers)
+		buf = appendStrings(buf, rec.Parsed.Statuses)
+	}
+	return buf
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
 	}
 	return buf
 }
@@ -300,6 +320,13 @@ func decodeRecord(payload []byte) (*Record, error) {
 			rec.Parsed.ModelVersion = rec.Facts.ModelVersion
 		}
 	}
+	if flags&flagHasDomainMeta != 0 {
+		if rec.Parsed == nil {
+			return nil, fmt.Errorf("%w: domain meta without parsed record", ErrBadRecord)
+		}
+		rec.Parsed.NameServers = decodeStrings(r)
+		rec.Parsed.Statuses = decodeStrings(r)
+	}
 	if r.bad {
 		return nil, fmt.Errorf("%w: truncated payload", ErrBadRecord)
 	}
@@ -307,6 +334,30 @@ func decodeRecord(payload []byte) (*Record, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(payload)-r.pos)
 	}
 	return rec, nil
+}
+
+// decodeStrings mirrors appendStrings. A zero count decodes to nil so
+// the encoder/decoder stay exact mirrors (the encoder never writes an
+// empty list without the gating flag's other half being non-empty).
+func decodeStrings(r *reader) []string {
+	n := r.uvarint()
+	if r.bad {
+		return nil
+	}
+	// Each entry costs at least one byte (its length varint), so a count
+	// beyond the remaining bytes is corrupt — reject before allocating.
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
 }
 
 func decodeContact(r *reader, c *core.Contact) {

@@ -35,6 +35,11 @@ func testRecord(i int) *Record {
 			Email:   fmt.Sprintf("holder%d@example.com", i),
 		},
 		CreatedDate: "2014-03-01",
+		NameServers: []string{
+			fmt.Sprintf("ns1.host%d.net", i%4),
+			fmt.Sprintf("ns2.host%d.net", i%4),
+		},
+		Statuses: []string{"clientTransferProhibited"},
 	}
 	return &Record{
 		Domain: domain,
@@ -54,8 +59,15 @@ func testRecord(i int) *Record {
 }
 
 func TestRecordRoundTrip(t *testing.T) {
+	noMeta := testRecord(2)
+	noMeta.Parsed.NameServers = nil
+	noMeta.Parsed.Statuses = nil
+	statusOnly := testRecord(3)
+	statusOnly.Parsed.NameServers = nil
 	for _, rec := range []*Record{
 		testRecord(1),
+		noMeta,
+		statusOnly,
 		{Domain: "bare.com", Facts: survey.Facts{Domain: "bare.com", Registrar: "Thin Reg"}},
 		{Domain: "txt.com", Text: "raw only", Facts: survey.Facts{Domain: "txt.com"}},
 	} {

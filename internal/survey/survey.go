@@ -6,12 +6,11 @@ package survey
 
 import (
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/identity"
+	"repro/internal/norm"
 )
 
 // Facts are the normalized per-domain values the survey aggregates.
@@ -50,73 +49,16 @@ func IsPrivacyProtected(name, org string) bool {
 	return false
 }
 
-// countryCanon maps lower-cased codes and names to canonical names.
-var countryCanon = func() map[string]string {
-	m := make(map[string]string)
-	for code, c := range identity.Countries() {
-		m[strings.ToLower(code)] = c.Name
-		m[strings.ToLower(c.Name)] = c.Name
-	}
-	// Common aliases.
-	m["usa"] = "United States"
-	m["united states of america"] = "United States"
-	m["uk"] = "United Kingdom"
-	m["great britain"] = "United Kingdom"
-	m["korea"] = "South Korea"
-	m["republic of korea"] = "South Korea"
-	return m
-}()
-
 // CanonicalCountry normalizes a registrant country value ("US", "us",
-// "United States") to a canonical name; unknown values map to "".
-func CanonicalCountry(v string) string {
-	return countryCanon[strings.ToLower(strings.TrimSpace(v))]
-}
+// "United States") to a canonical name; unknown values map to "". The
+// canonicalizer itself lives in internal/norm, shared with the
+// cross-protocol consistency engine.
+func CanonicalCountry(v string) string { return norm.Country(v) }
 
-// dateLayouts covers every date format the registrar schemas emit.
-var dateLayouts = []string{
-	"2006-01-02T15:04:05Z",
-	"2006-01-02 15:04:05",
-	"2006-01-02",
-	"02-Jan-2006 15:04:05 UTC",
-	"02-Jan-2006",
-	"2006/01/02 15:04:05 (JST)",
-	"2006/01/02",
-	"02/01/2006",
-	"02.01.2006",
-	"2006.01.02",
-	"Mon Jan 02 15:04:05 GMT 2006",
-	"Mon Jan 02 2006",
-	"Jan 02, 2006",
-	"Jan 2, 2006",
-	"January 2, 2006",
-	"2 January 2006",
-	"20060102",
-}
-
-// ParseDate parses a WHOIS date string in any of the ecosystem's formats.
-// As a last resort it scans for a plausible 4-digit year.
-func ParseDate(s string) (time.Time, bool) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return time.Time{}, false
-	}
-	for _, layout := range dateLayouts {
-		if t, err := time.Parse(layout, s); err == nil {
-			return t, true
-		}
-	}
-	for i := 0; i+4 <= len(s); i++ {
-		if y, err := strconv.Atoi(s[i : i+4]); err == nil && y >= 1982 && y <= 2030 {
-			if (i == 0 || !isDigit(s[i-1])) && (i+4 == len(s) || !isDigit(s[i+4])) {
-				return time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC), true
-			}
-		}
-	}
-	return time.Time{}, false
-}
-
-func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+// ParseDate parses a WHOIS date string in any of the ecosystem's formats
+// (see norm.DateLayouts). As a last resort it scans for a plausible
+// 4-digit year.
+func ParseDate(s string) (time.Time, bool) { return norm.ParseDate(s) }
 
 // FactsFrom derives survey facts from one parsed record. The blacklist
 // bit comes from the DBL feed, not from the record.

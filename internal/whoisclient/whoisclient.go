@@ -203,6 +203,23 @@ type ThickResult struct {
 	WhoisServer string
 }
 
+// LookupText returns the best record text available for a domain via the
+// named server: the thick record when the two-step referral resolves,
+// otherwise the (non-empty) thin record. The cross-protocol consistency
+// checker wants "whatever WHOIS answers" to compare against RDAP — a
+// thin-only registry or an unreachable registrar server still yields a
+// comparable record, just one with more missing fields.
+func (c *Client) LookupText(ctx context.Context, server, domain string) (string, error) {
+	res, err := c.LookupThick(ctx, server, domain)
+	if err == nil {
+		return res.Thick, nil
+	}
+	if res != nil && res.Thin != "" {
+		return res.Thin, nil
+	}
+	return "", err
+}
+
 // LookupThick performs the two-step com resolution: thin from the
 // registry, referral extraction, thick from the registrar.
 func (c *Client) LookupThick(ctx context.Context, registryServer, domain string) (*ThickResult, error) {
