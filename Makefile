@@ -17,8 +17,10 @@ COVER_FLOOR ?= 70
 # internal/tiered is the L0/L1 routing layer in front of the CRF;
 # internal/cluster is the sharded-serving coordination layer;
 # internal/query is the pruned survey-scale query engine over the store;
-# internal/consistency is the WHOIS<->RDAP cross-protocol audit engine.
-COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster repro/internal/query repro/internal/consistency
+# internal/consistency is the WHOIS<->RDAP cross-protocol audit engine;
+# internal/modelreg is the content-addressed model registry under the
+# promotion state machine.
+COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/internal/lifecycle repro/internal/tiered repro/internal/cluster repro/internal/query repro/internal/consistency repro/internal/modelreg
 
 # Corpus size and seed for the query-differential gate. The seed
 # defaults to today's date so CI explores a fresh corpus every day;
@@ -27,7 +29,7 @@ COVER_PKGS = repro/internal/serve repro/internal/obs repro/internal/store repro/
 QUERYDIFF_N ?= 2000
 QUERYDIFF_SEED ?= $(shell date +%Y%m%d)
 
-.PHONY: verify vet build test race bench-serve bench-tiered lint importcheck benchcheck cover fuzz-smoke query-diff
+.PHONY: verify vet build test race bench-serve bench-tiered lint importcheck benchcheck cover fuzz-smoke query-diff model-verify
 
 verify: vet build test race
 
@@ -41,7 +43,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/... ./internal/query/... ./internal/consistency/...
+	$(GO) test -race ./internal/serve/... ./internal/whoisd/... ./internal/rdap/... ./internal/obs/... ./internal/crawler/... ./internal/store/... ./internal/lifecycle/... ./internal/tiered/... ./internal/cluster/... ./internal/query/... ./internal/consistency/... ./internal/modelreg/...
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe|BenchmarkParseDirect' -benchtime 1000x ./internal/serve/
@@ -79,8 +81,9 @@ benchcheck:
 	  $(GO) test -run '^$$' -bench 'BenchmarkTiered' -benchtime 200x -count 3 ./internal/tiered && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRingLookup$$|BenchmarkRingLookupBounded$$|BenchmarkShardForward$$|BenchmarkShardForwardRemoteHit$$|BenchmarkShardForwardTCP$$' -benchtime 20000x -count 3 ./internal/cluster && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkQueryPruned$$|BenchmarkQueryFullScan$$|BenchmarkZoneMapBuild$$' -benchtime 20x -count 3 ./internal/query && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkConsistencyCheck$$|BenchmarkConsistencyBatch$$' -benchtime 20000x -count 3 ./internal/consistency ) \
-	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json BENCH_query.json BENCH_consistency.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkConsistencyCheck$$|BenchmarkConsistencyBatch$$' -benchtime 20000x -count 3 ./internal/consistency && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPublish$$|BenchmarkResolveServing$$' -benchtime 50x -count 3 ./internal/modelreg ) \
+	  | /tmp/benchcheck BENCH_serve.json BENCH_inference.json BENCH_store.json BENCH_lifecycle.json BENCH_tiered.json BENCH_cluster.json BENCH_query.json BENCH_consistency.json BENCH_modelreg.json
 
 # fuzz-smoke: replay the checked-in seed corpora and fuzz the record
 # decoder briefly. Not part of verify; run before touching encoding.go.
@@ -101,6 +104,25 @@ query-diff:
 	@echo "query-diff: QUERYDIFF_N=$(QUERYDIFF_N) QUERYDIFF_SEED=$(QUERYDIFF_SEED)"
 	QUERYDIFF_N=$(QUERYDIFF_N) QUERYDIFF_SEED=$(QUERYDIFF_SEED) \
 	  $(GO) test -run 'TestQueryDifferential' -count=1 ./internal/query/
+
+# model-verify: end-to-end registry smoke over the real CLI — generate
+# a small corpus, train a model, publish it into a scratch registry,
+# walk it candidate -> shadow -> serving, publish a successor, and run
+# a full checksum verification over everything. This is the runbook in
+# README.md, executed.
+model-verify:
+	$(GO) build -o /tmp/whoisparse ./cmd/whoisparse
+	@dir=$$(mktemp -d /tmp/modelreg.XXXXXX); set -e; \
+	/tmp/whoisparse gen -n 200 -seed 7 -out $$dir/corpus.labeled; \
+	/tmp/whoisparse train -in $$dir/corpus.labeled -out $$dir/parser.wmdl; \
+	/tmp/whoisparse model publish -registry $$dir/reg -artifact $$dir/parser.wmdl -corpus $$dir/corpus.labeled -candidate; \
+	/tmp/whoisparse model promote -registry $$dir/reg -version 1.0.0; \
+	/tmp/whoisparse model promote -registry $$dir/reg -version 1.0.0; \
+	/tmp/whoisparse model publish -registry $$dir/reg -artifact $$dir/parser.wmdl -version 1.1.0 -parent 1.0.0; \
+	/tmp/whoisparse model verify -registry $$dir/reg; \
+	/tmp/whoisparse model list -registry $$dir/reg; \
+	rm -rf $$dir; \
+	echo "model-verify: ok"
 
 # cover: per-package coverage floor. Writes cover.<pkg>.out profiles
 # (uploaded as CI artifacts) and fails if any gated package is below

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lifecycle"
+	"repro/internal/modelreg"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rdap"
@@ -69,6 +70,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (empty disables)")
 	lifecycleMode := flag.Bool("lifecycle", false,
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP or POST /admin/reload (requires a WMDL -model)")
+	modelRegDir := flag.String("model-registry", "",
+		"serve the model the registry at this directory marks 'serving' (implies -lifecycle; SIGHUP or POST /admin/reload re-resolves the pointer, POST /admin/model/promote|rollback move it, GET /admin/models lists the registry)")
+	modelFamily := flag.String("model-family", modelreg.DefaultFamily,
+		"registry model family to serve (with -model-registry)")
 	tieredMode := flag.Bool("tiered", false,
 		"serve /parsed/ through the L0 compiled-template fast path with CRF fallback (status at /admin/tiered)")
 	clusterListen := flag.String("cluster-listen", "",
@@ -122,6 +127,20 @@ func main() {
 	var mgr *lifecycle.Manager
 	var router *tiered.Router
 	var node *cluster.Node
+	// With -model-registry the serving model is whatever the registry's
+	// serving pointer names: boot resolves it, SIGHUP re-resolves it, and
+	// the promote/rollback admin endpoints move it.
+	var modelRegistry *modelreg.Registry
+	if *modelRegDir != "" {
+		var err error
+		modelRegistry, err = modelreg.Open(*modelRegDir, modelreg.Options{
+			Metrics: reg,
+			Log:     obs.NewLogger("modelreg", os.Stderr),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	// parseFn is the same parse the serving layer would run for a cache
 	// miss, kept for the /admin/consistency self-audit: under -lifecycle
 	// it re-resolves the live model on every call so an audit after a
@@ -142,7 +161,20 @@ func main() {
 				router.Status().Templates)
 		}
 		var p *core.Parser
-		if *lifecycleMode {
+		if modelRegistry != nil {
+			var err error
+			mgr, err = lifecycle.NewFromRegistry(modelRegistry, *modelFamily, lifecycle.Options{
+				Metrics: reg,
+				Log:     obs.NewLogger("lifecycle", os.Stderr),
+				Tiered:  router,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap := mgr.Current()
+			log.Printf("modelreg: serving %s (%s) from %s", snap.Version, snap.Info, *modelRegDir)
+			p = snap.Parser
+		} else if *lifecycleMode {
 			if *model == "" {
 				log.Fatal("-lifecycle requires -model (a WMDL artifact to reload from)")
 			}
@@ -234,7 +266,19 @@ func main() {
 				}
 				node.AddPeer(pid, cluster.DialTCP(paddr))
 			}
-			if *model != "" {
+			if modelRegistry != nil {
+				// Joining peers always fetch whatever the registry says is
+				// serving right now — a promote between joins changes what
+				// the next peer receives, with no daemon restart.
+				fam := *modelFamily
+				node.SetModelProvider(func() ([]byte, error) {
+					res, err := modelRegistry.ResolveServing(fam)
+					if err != nil {
+						return nil, err
+					}
+					return os.ReadFile(res.Path)
+				})
+			} else if *model != "" {
 				// Serve our on-disk artifact to joining peers.
 				data, err := os.ReadFile(*model)
 				if err != nil {
@@ -277,8 +321,17 @@ func main() {
 		}
 		mux := obs.DebugMux(reg)
 		if mgr != nil {
-			mux.HandleFunc("/admin/reload", adminReload(mgr, *model))
+			if modelRegistry != nil {
+				mux.HandleFunc("/admin/reload", adminReloadServing(mgr))
+			} else {
+				mux.HandleFunc("/admin/reload", adminReload(mgr, *model))
+			}
 			mux.HandleFunc("/admin/model", adminModel(mgr))
+		}
+		if modelRegistry != nil {
+			mux.HandleFunc("/admin/models", adminModels(modelRegistry))
+			mux.HandleFunc("/admin/model/promote", adminStageMove(modelRegistry, mgr, node, *modelFamily, false))
+			mux.HandleFunc("/admin/model/rollback", adminStageMove(modelRegistry, mgr, node, *modelFamily, true))
 		}
 		if router != nil {
 			mux.HandleFunc("/admin/tiered", adminTiered(router))
@@ -298,6 +351,9 @@ func main() {
 		log.Printf("debug endpoints at http://%s/debug/vars and /debug/pprof/", dl.Addr())
 		if mgr != nil {
 			log.Printf("model admin at http://%s/admin/model (POST /admin/reload to hot-swap)", dl.Addr())
+		}
+		if modelRegistry != nil {
+			log.Printf("model registry at http://%s/admin/models (POST /admin/model/promote|rollback?version=...)", dl.Addr())
 		}
 		if router != nil {
 			log.Printf("tier status at http://%s/admin/tiered", dl.Addr())
@@ -321,14 +377,27 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if mgr != nil {
-		// SIGHUP = "re-read -model from disk and swap it live", the
-		// classic daemon reload contract. A bad artifact is rejected
-		// with the old model still serving.
+		// SIGHUP = "re-read the model source and swap it live", the
+		// classic daemon reload contract: with -model-registry that means
+		// re-resolving the serving pointer (a promote on another process
+		// becomes visible), otherwise re-reading -model from disk. A bad
+		// artifact is rejected with the old model still serving.
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				snap, err := mgr.ReloadFromFile(*model)
+				var snap *lifecycle.Snapshot
+				var err error
+				if modelRegistry != nil {
+					var changed bool
+					snap, changed, err = mgr.ReloadServing()
+					if err == nil && !changed {
+						log.Printf("SIGHUP reload: %s still serving (registry pointer unchanged)", snap.Version)
+						continue
+					}
+				} else {
+					snap, err = mgr.ReloadFromFile(*model)
+				}
 				if err != nil {
 					log.Printf("SIGHUP reload failed (still serving %s): %v",
 						mgr.Current().Version, err)
@@ -362,6 +431,106 @@ func adminReload(mgr *lifecycle.Manager, model string) http.HandlerFunc {
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"version": snap.Version, "seq": snap.Seq, "artifact": snap.Info.String(),
 		})
+	}
+}
+
+// adminReloadServing re-resolves the registry's serving pointer on POST
+// — the HTTP twin of SIGHUP for registry-backed daemons.
+func adminReloadServing(mgr *lifecycle.Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		snap, changed, err := mgr.ReloadServing()
+		if err != nil {
+			log.Printf("admin reload failed (still serving %s): %v", mgr.Current().Version, err)
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		if changed {
+			log.Printf("admin reload: now serving %s (%s)", snap.Version, snap.Info)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"version": snap.Version, "seq": snap.Seq,
+			"artifact": snap.Info.String(), "changed": changed,
+		})
+	}
+}
+
+// adminModels lists the registry: every family's stages and versions,
+// with provenance highlights — the fleet-wide "what could we serve"
+// view next to /admin/model's "what are we serving".
+func adminModels(reg *modelreg.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		listings, err := reg.List()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(listings)
+	}
+}
+
+// adminStageMove advances (?version=V one stage: candidate → shadow →
+// serving) or rolls back the family's serving pointer on POST, then
+// makes the daemon converge on the registry's new serving version:
+// ReloadServing swaps this process, and — when clustered — a Rollout
+// pushes the artifact to every peer so the ring moves together.
+func adminStageMove(reg *modelreg.Registry, mgr *lifecycle.Manager, node *cluster.Node, defaultFamily string, rollback bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		family := r.URL.Query().Get("family")
+		if family == "" {
+			family = defaultFamily
+		}
+		version := r.URL.Query().Get("version")
+		if version == "" {
+			http.Error(w, "version query parameter required", http.StatusBadRequest)
+			return
+		}
+		var stage modelreg.Stage
+		var err error
+		if rollback {
+			stage, err = modelreg.StageServing, reg.Rollback(family, version)
+		} else {
+			stage, err = reg.Promote(family, version)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		resp := map[string]any{"family": family, "version": version, "stage": stage.String()}
+		if stage == modelreg.StageServing && mgr != nil {
+			snap, changed, rerr := mgr.ReloadServing()
+			if rerr != nil {
+				http.Error(w, rerr.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			resp["serving"], resp["swapped"] = snap.Version, changed
+			if node != nil && changed {
+				res, rerr := reg.ResolveServing(family)
+				if rerr == nil {
+					if data, ferr := os.ReadFile(res.Path); ferr == nil {
+						ctx, cancel := context.WithTimeout(r.Context(), time.Minute)
+						report, roerr := node.Rollout(ctx, data, 0)
+						cancel()
+						if roerr != nil {
+							log.Printf("admin %s: cluster rollout: %v", stage, roerr)
+						}
+						resp["rollout"] = report
+					}
+				}
+			}
+		}
+		log.Printf("admin stage move: %s/%s -> %s", family, version, stage)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
 	}
 }
 

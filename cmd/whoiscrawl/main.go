@@ -14,6 +14,7 @@
 //	whoiscrawl [-dir whois_servers.txt] [-zone zone.txt] [-out records.txt]
 //	           [-workers 16] [-sources 127.0.0.2,127.0.0.3,127.0.0.4]
 //	           [-store storedir] [-resume] [-model parser.model]
+//	           [-model-registry DIR [-model-family default]]
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/modelreg"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/whoisclient"
@@ -47,6 +49,10 @@ func main() {
 	storeDir := flag.String("store", "", "stream crawled records into this persistent store directory")
 	resume := flag.Bool("resume", false, "skip domains already persisted in -store (resume an interrupted crawl)")
 	modelFile := flag.String("model", "", "parse records with this trained model before persisting (requires -store)")
+	modelRegDir := flag.String("model-registry", "",
+		"parse with the model this registry directory marks 'serving' (requires -store; overrides -model)")
+	modelFamily := flag.String("model-family", modelreg.DefaultFamily,
+		"registry model family to resolve (with -model-registry)")
 	verbose := flag.Bool("v", false, "log per-query diagnostics (rate limits, retries)")
 	flag.Parse()
 
@@ -61,8 +67,8 @@ func main() {
 	if *resume && *storeDir == "" {
 		log.Fatal("-resume requires -store")
 	}
-	if *modelFile != "" && *storeDir == "" {
-		log.Fatal("-model requires -store")
+	if (*modelFile != "" || *modelRegDir != "") && *storeDir == "" {
+		log.Fatal("-model/-model-registry requires -store")
 	}
 
 	// The crawl registry accumulates per-host retry/rate-limit/byte
@@ -105,7 +111,28 @@ func main() {
 			domains = kept
 		}
 		opts := store.SinkOptions{}
-		if *modelFile != "" {
+		if *modelRegDir != "" {
+			// Resolve the registry's serving pointer and stamp records
+			// with the canonical "<family>/<semver>+<crc32c>" string —
+			// the same identity registry-backed daemons stamp, so the
+			// crawled corpus segments cleanly against served traffic.
+			mreg, err := modelreg.Open(*modelRegDir, modelreg.Options{Metrics: reg})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := mreg.ResolveServing(*modelFamily)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err := store.LoadModel(res.Path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Parse = p.Parse
+			opts.ModelVersion = res.VersionString()
+			log.Printf("parsing with registry model %s (%s); records stamped with that identity",
+				res.VersionString(), res.Info)
+		} else if *modelFile != "" {
 			p, err := whoisparse.Load(*modelFile)
 			if err != nil {
 				log.Fatal(err)

@@ -15,6 +15,7 @@
 //	whoisd [-n 5000] [-seed 1] [-limit 25] [-window 500ms] [-penalty 1s]
 //	       [-dir whois_servers.txt] [-zone zone.txt] [-fail 0.075]
 //	       [-parse] [-model parser.model] [-parse-workers 0] [-parse-cache 4096]
+//	       [-model-registry DIR [-model-family default]]
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lifecycle"
+	"repro/internal/modelreg"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
@@ -60,6 +62,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics registry as JSON on this address (empty disables)")
 	lifecycleMode := flag.Bool("lifecycle", false,
 		"manage -model through internal/lifecycle: hot-reload on SIGHUP (requires a WMDL -model)")
+	modelRegDir := flag.String("model-registry", "",
+		"serve the model this registry directory marks 'serving' (implies -lifecycle; SIGHUP re-resolves the pointer)")
+	modelFamily := flag.String("model-family", modelreg.DefaultFamily,
+		"registry model family to serve (with -model-registry)")
 	tieredMode := flag.Bool("tiered", false,
 		"answer '--parse' via the L0 compiled-template fast path with CRF fallback (tiered.* in the stats dump)")
 	flag.Parse()
@@ -69,6 +75,18 @@ func main() {
 	// exported live on -metrics-addr and dumped at shutdown either way.
 	reg := obs.NewRegistry()
 	logger := obs.NewLogger("whoisd", os.Stderr)
+
+	var modelRegistry *modelreg.Registry
+	if *modelRegDir != "" {
+		var err error
+		modelRegistry, err = modelreg.Open(*modelRegDir, modelreg.Options{
+			Metrics: reg, Log: obs.NewLogger("modelreg", os.Stderr),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		*lifecycleMode = true
+	}
 
 	log.Printf("generating %d domains (seed %d)", *n, *seed)
 	domains := synth.Generate(synth.Config{N: *n, Seed: *seed, BrandFraction: 0.02})
@@ -90,7 +108,18 @@ func main() {
 				router.Status().Templates)
 		}
 		var p *core.Parser
-		if *lifecycleMode {
+		if modelRegistry != nil {
+			var err error
+			mgr, err = lifecycle.NewFromRegistry(modelRegistry, *modelFamily,
+				lifecycle.Options{Metrics: reg, Log: logger, Tiered: router})
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap := mgr.Current()
+			log.Printf("modelreg: serving %s (%s) from %s; SIGHUP re-resolves the serving pointer",
+				snap.Version, snap.Info, *modelRegDir)
+			p = snap.Parser
+		} else if *lifecycleMode {
 			if *model == "" {
 				log.Fatal("-lifecycle requires -model (a WMDL artifact to reload from)")
 			}
@@ -165,14 +194,26 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if mgr != nil {
-		// SIGHUP re-reads -model and swaps it into every registrar
-		// server at once (they share the serving layer); a bad artifact
-		// is rejected with the old model still live.
+		// SIGHUP re-resolves the registry's serving pointer (registry
+		// mode) or re-reads -model, and swaps the result into every
+		// registrar server at once (they share the serving layer); a bad
+		// artifact is rejected with the old model still live.
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				snap, err := mgr.ReloadFromFile(*model)
+				var snap *lifecycle.Snapshot
+				var err error
+				if modelRegistry != nil {
+					var changed bool
+					snap, changed, err = mgr.ReloadServing()
+					if err == nil && !changed {
+						log.Printf("SIGHUP: registry pointer unchanged, still serving %s", snap.Version)
+						continue
+					}
+				} else {
+					snap, err = mgr.ReloadFromFile(*model)
+				}
 				if err != nil {
 					log.Printf("SIGHUP reload failed (still serving %s): %v",
 						mgr.Current().Version, err)

@@ -8,6 +8,7 @@
 //	whoisparse eval  -model parser.model -in corpus.labeled [-baseline]
 //	whoisparse parse -model parser.model [record.txt]   (stdin if no file)
 //	whoisparse consistency -model parser.model -rdap http://host:port example.com
+//	whoisparse model <publish|list|inspect|verify|diff|promote|rollback|gc> -registry DIR
 //
 // The consistency subcommand is the one-shot cross-protocol check: it
 // obtains a domain over both WHOIS (parsed by the model) and RDAP,
@@ -62,13 +63,15 @@ func main() {
 		cmdInspect(os.Args[2:])
 	case "consistency":
 		cmdConsistency(os.Args[2:])
+	case "model":
+		cmdModel(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: whoisparse <gen|train|eval|parse|triage|inspect|xval|consistency> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: whoisparse <gen|train|eval|parse|triage|inspect|xval|consistency|model> [flags]")
 	os.Exit(2)
 }
 
@@ -304,6 +307,7 @@ func cmdConsistency(args []string) {
 	whoisFile := fs.String("whois-file", "", "read the WHOIS record text from this file instead of a live lookup")
 	rdapFile := fs.String("rdap-file", "", "read the RDAP domain object (JSON) from this file instead of a live lookup")
 	rdapURL := fs.String("rdap", "", "RDAP service base URL for the live lookup (e.g. a running rdapd)")
+	rdapBootstrap := fs.String("rdap-bootstrap", "", "IANA RDAP bootstrap registry (dns.json): an http(s) URL or a local file; resolves the RDAP base per TLD, with -rdap as fallback")
 	server := fs.String("server", "whois.verisign-grs.com", "registry WHOIS server for the live thick lookup")
 	timeout := fs.Duration("timeout", 15*time.Second, "overall deadline for the live lookups")
 	jsonOut := fs.Bool("json", false, "emit the full comparison as JSON instead of the table")
@@ -332,13 +336,22 @@ func cmdConsistency(args []string) {
 	}
 	if *rdapFile != "" {
 		c.FetchRDAP = fileRDAPFetcher(*rdapFile)
-	} else if *rdapURL != "" {
+	} else if *rdapURL != "" || *rdapBootstrap != "" {
 		rc := &rdap.Client{BaseURL: strings.TrimRight(*rdapURL, "/")}
+		if *rdapBootstrap != "" {
+			src := &rdap.BootstrapSource{}
+			if strings.HasPrefix(*rdapBootstrap, "http://") || strings.HasPrefix(*rdapBootstrap, "https://") {
+				src.URL = *rdapBootstrap
+			} else {
+				src.Path = *rdapBootstrap
+			}
+			rc.Bootstrap = src
+		}
 		c.FetchRDAP = func(ctx context.Context, domain string) (*rdap.Domain, error) {
 			return rc.Lookup(domain)
 		}
 	} else {
-		log.Fatal("consistency needs an RDAP side: give -rdap (base URL) or -rdap-file")
+		log.Fatal("consistency needs an RDAP side: give -rdap (base URL), -rdap-bootstrap, or -rdap-file")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/modelreg"
+)
+
+// cmdModel is the registry operator surface: publish artifacts, walk
+// them through the promotion state machine, and audit what is (or ever
+// was) serving.
+//
+//	whoisparse model publish  -registry DIR [-family F] -artifact M.wmdl [-version V] [-parent P] [-candidate]
+//	whoisparse model list     -registry DIR [-json]
+//	whoisparse model inspect  -registry DIR [-family F] -version V [-json]
+//	whoisparse model verify   -registry DIR [-family F [-version V]]
+//	whoisparse model diff     -registry DIR [-family F] <verA> <verB>
+//	whoisparse model promote  -registry DIR [-family F] -version V
+//	whoisparse model rollback -registry DIR [-family F] -version V
+//	whoisparse model gc       -registry DIR [-family F] [-keep N]
+func cmdModel(args []string) {
+	if len(args) < 1 {
+		log.Fatal(modelUsage)
+	}
+	if err := runModel(os.Stdout, args[0], args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const modelUsage = "usage: whoisparse model <publish|list|inspect|verify|diff|promote|rollback|gc> [flags]"
+
+// runModel dispatches one model subcommand; factored over an io.Writer
+// so tests capture output.
+func runModel(w io.Writer, sub string, args []string) error {
+	fs := flag.NewFlagSet("model "+sub, flag.ExitOnError)
+	regDir := fs.String("registry", "", "model registry root directory (required)")
+	family := fs.String("family", modelreg.DefaultFamily, "model family")
+
+	var (
+		artifact  = fs.String("artifact", "", "WMDL artifact to publish")
+		version   = fs.String("version", "", "version (publish: explicit semver, default auto; inspect/promote/rollback/verify: target)")
+		parent    = fs.String("parent", "", "parent version recorded in the manifest")
+		corpus    = fs.String("corpus", "", "training corpus path recorded in the manifest")
+		note      = fs.String("note", "", "free-form note recorded in the manifest")
+		candidate = fs.Bool("candidate", false, "stage the published version as the family candidate")
+		keep      = fs.Int("keep", 3, "unstaged versions to retain per family")
+		jsonOut   = fs.Bool("json", false, "emit JSON instead of text")
+	)
+	fs.Parse(args)
+	if *regDir == "" {
+		return fmt.Errorf("model %s: -registry is required", sub)
+	}
+	reg, err := modelreg.Open(*regDir, modelreg.Options{})
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "publish":
+		if *artifact == "" {
+			return fmt.Errorf("model publish: -artifact is required")
+		}
+		m, err := reg.Publish(modelreg.PublishRequest{
+			Family:       *family,
+			Version:      *version,
+			Parent:       *parent,
+			ArtifactPath: *artifact,
+			Provenance: modelreg.Provenance{
+				CorpusPath: *corpus,
+				Note:       *note,
+				Trainer:    "whoisparse model publish",
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "published %s/%s crc32c=%08x (%d bytes)\n",
+			m.Family, m.Version, m.Artifact.CRC32C, m.Artifact.SizeBytes)
+		if *candidate {
+			if err := reg.SetCandidate(*family, m.Version); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "staged %s/%s as candidate\n", m.Family, m.Version)
+		}
+		return nil
+
+	case "list":
+		listings, err := reg.List()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return json.NewEncoder(w).Encode(listings)
+		}
+		for _, l := range listings {
+			fmt.Fprintf(w, "%s:\n", l.Family)
+			for _, v := range l.Versions {
+				stage := v.Stage
+				if stage == "" {
+					stage = "-"
+				}
+				fmt.Fprintf(w, "  %-10s %-10s crc32c=%s  %s",
+					v.Version, stage, v.CRC32C,
+					time.Unix(v.CreatedUnix, 0).UTC().Format("2006-01-02T15:04:05Z"))
+				if v.ShadowTokenAccuracy > 0 {
+					fmt.Fprintf(w, "  tokacc=%.4f", v.ShadowTokenAccuracy)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+
+	case "inspect":
+		if *version == "" {
+			return fmt.Errorf("model inspect: -version is required")
+		}
+		m, err := reg.Manifest(*family, *version)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return json.NewEncoder(w).Encode(m)
+		}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", data)
+		st, err := reg.StageOf(*family, *version)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stage: %s\n", st)
+		return nil
+
+	case "verify":
+		if *version != "" {
+			if _, err := reg.Verify(*family, *version); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "ok %s/%s\n", *family, *version)
+			return nil
+		}
+		results, err := reg.VerifyAll()
+		if err != nil {
+			return err
+		}
+		bad := 0
+		for _, res := range results {
+			if res.OK {
+				fmt.Fprintf(w, "ok   %s/%s\n", res.Family, res.Version)
+			} else {
+				bad++
+				fmt.Fprintf(w, "FAIL %s/%s: %s\n", res.Family, res.Version, res.Error)
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("model verify: %d of %d versions failed", bad, len(results))
+		}
+		fmt.Fprintf(w, "all %d versions verified\n", len(results))
+		return nil
+
+	case "diff":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("model diff: want two version arguments")
+		}
+		d, err := reg.Diff(*family, fs.Arg(0), fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return json.NewEncoder(w).Encode(d)
+		}
+		fmt.Fprint(w, d.Render())
+		return nil
+
+	case "promote":
+		if *version == "" {
+			return fmt.Errorf("model promote: -version is required")
+		}
+		st, err := reg.Promote(*family, *version)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "promoted %s/%s to %s\n", *family, *version, st)
+		return nil
+
+	case "rollback":
+		if *version == "" {
+			return fmt.Errorf("model rollback: -version is required")
+		}
+		if err := reg.Rollback(*family, *version); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "rolled back %s serving to %s\n", *family, *version)
+		return nil
+
+	case "gc":
+		removed, err := reg.GCAll(*keep)
+		if err != nil {
+			return err
+		}
+		fams := make([]string, 0, len(removed))
+		for fam := range removed {
+			fams = append(fams, fam)
+		}
+		sort.Strings(fams)
+		n := 0
+		for _, fam := range fams {
+			for _, v := range removed[fam] {
+				fmt.Fprintf(w, "removed %s/%s\n", fam, v)
+				n++
+			}
+		}
+		fmt.Fprintf(w, "gc removed %d versions (keep %d)\n", n, *keep)
+		return nil
+	}
+	return fmt.Errorf("%s", modelUsage)
+}

@@ -179,8 +179,12 @@ type Node struct {
 
 	// artifact holds the serving WMDL bytes (for FetchModel); version
 	// is the stamp applied to locally-parsed records when no lifecycle
-	// manager is attached.
+	// manager is attached. provider, when set, overrides artifact as
+	// the FetchModel source — the registry-backed path, where the
+	// authoritative bytes live on disk and move with the serving
+	// pointer rather than with an in-memory copy.
 	artifact atomic.Pointer[[]byte]
+	provider atomic.Pointer[func() ([]byte, error)]
 	version  atomic.Pointer[string]
 
 	ready atomic.Bool
@@ -242,6 +246,20 @@ func (n *Node) Ring() *Ring { return n.ring }
 // path for a node started from an on-disk model.
 func (n *Node) SetModelArtifact(data []byte) {
 	n.artifact.Store(&data)
+}
+
+// SetModelProvider routes FetchModel through fn instead of the static
+// artifact bytes: each joining peer gets whatever fn returns at fetch
+// time. A registry-backed daemon passes a closure that reads the
+// family's current serving artifact, so peers always join on the model
+// the registry says is serving — even if this node has not re-resolved
+// since the last promote. A nil fn restores the static-artifact path.
+func (n *Node) SetModelProvider(fn func() ([]byte, error)) {
+	if fn == nil {
+		n.provider.Store(nil)
+		return
+	}
+	n.provider.Store(&fn)
 }
 
 // AddPeer registers a member and rebalances the ring. Replacing the
@@ -453,8 +471,20 @@ func (n *Node) HandleParse(ctx context.Context, domain, text string) (*core.Pars
 	return rec, err
 }
 
-// ModelArtifact returns the serving WMDL bytes for a joining peer.
+// ModelArtifact returns the serving WMDL bytes for a joining peer:
+// from the provider when one is set, else the static artifact.
 func (n *Node) ModelArtifact() ([]byte, error) {
+	if fn := n.provider.Load(); fn != nil {
+		data, err := (*fn)()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoModel, err)
+		}
+		if len(data) == 0 {
+			return nil, ErrNoModel
+		}
+		n.met.fetches.Inc()
+		return data, nil
+	}
 	data := n.artifact.Load()
 	if data == nil || len(*data) == 0 {
 		return nil, ErrNoModel

@@ -292,6 +292,52 @@ func TestNodeJoinFetchModel(t *testing.T) {
 	}
 }
 
+func TestNodeModelProvider(t *testing.T) {
+	artA, artB := artifacts(t)
+	a := testNode(t, "node-a", echoParse("node-a"), Options{})
+	a.SetModelArtifact(artA) // static bytes that the provider must shadow
+
+	// The provider wins over the static artifact, and is consulted at
+	// fetch time — a registry promote between fetches changes what the
+	// next joiner receives without touching the node.
+	current := &artB
+	a.SetModelProvider(func() ([]byte, error) { return *current, nil })
+
+	got, err := a.ModelArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(artB) {
+		t.Fatal("provider bytes not served")
+	}
+	current = &artA
+	if got, _ := a.ModelArtifact(); string(got) != string(artA) {
+		t.Fatal("provider not consulted per fetch")
+	}
+
+	// A failing provider maps to ErrNoModel: joiners stay gated rather
+	// than receiving an empty or stale model.
+	a.SetModelProvider(func() ([]byte, error) { return nil, errors.New("registry unreadable") })
+	if _, err := a.ModelArtifact(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+
+	// Clearing the provider restores the static path, and a joiner can
+	// fetch through the provider end to end.
+	a.SetModelProvider(nil)
+	if got, _ := a.ModelArtifact(); string(got) != string(artA) {
+		t.Fatal("static artifact not restored")
+	}
+	a.SetModelProvider(func() ([]byte, error) { return artB, nil })
+	b := testNode(t, "node-b", echoParse("node-b"), Options{})
+	if _, err := b.JoinFetchModel(context.Background(), &InprocClient{B: a}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Status().Ready {
+		t.Fatal("joiner not ready after provider-backed fetch")
+	}
+}
+
 func TestNodeJoinFailsClosed(t *testing.T) {
 	b := testNode(t, "node-b", echoParse("node-b"), Options{})
 	if _, err := b.JoinFetchModel(context.Background(), errClient{err: errors.New("fetch refused")}); err == nil {

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/labels"
+	"repro/internal/modelreg"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -92,9 +93,17 @@ type Snapshot struct {
 	Info store.ModelInfo
 	// Path is the artifact path the model was loaded from, if any.
 	Path string
+	// Family and SemVer identify the model in the registry when it was
+	// resolved from one (NewFromRegistry, ReloadServing, or a
+	// registry-backed Retrain); both empty otherwise.
+	Family string
+	SemVer string
 	// Version is the string stamped into every ParsedRecord this
-	// snapshot produces: "m<seq>" or "m<seq>-<crc32c>" when the
-	// artifact identity is known.
+	// snapshot produces. Registry-resolved models stamp the canonical
+	// "<family>/<semver>+<crc32c>" — deterministic across processes, so
+	// a crawler and a daemon resolving the same registry version agree.
+	// Models without registry identity stamp "m<seq>" or
+	// "m<seq>-<crc32c>" (per-process generation numbers).
 	Version string
 }
 
@@ -165,8 +174,23 @@ type Options struct {
 	Holdout []*labels.LabeledRecord
 	// PromotePath, when non-empty, receives the promoted candidate as a
 	// WMDL artifact (atomic write) before the in-process swap, so a
-	// restart comes back up on the promoted model.
+	// restart comes back up on the promoted model. Ignored when Registry
+	// is set — the registry owns promoted artifacts then.
 	PromotePath string
+
+	// Registry, when non-nil, routes Retrain through the model registry
+	// instead of overwriting PromotePath: every candidate is published
+	// as an immutable version with provenance, walked candidate → shadow
+	// through the state machine, and — only if the shadow gate passes —
+	// promoted to serving and swapped in-process. Rejected candidates
+	// stay parked at shadow with their scores on record.
+	Registry *modelreg.Registry
+	// Family is the registry family this manager serves;
+	// empty means modelreg.DefaultFamily.
+	Family string
+	// CorpusPath, when set, is recorded in published manifests as the
+	// training-data source (Provenance.CorpusPath).
+	CorpusPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -272,10 +296,17 @@ type Manager struct {
 	queue    *alqueue
 }
 
+// regIdentity is a snapshot's registry coordinates; the zero value
+// means "not from a registry".
+type regIdentity struct {
+	Family string
+	SemVer string
+}
+
 // New builds a Manager serving p (an in-memory model; use NewFromFile
 // when the model has an artifact identity).
 func New(p *core.Parser, opts Options) *Manager {
-	return newManager(p, store.ModelInfo{}, "", opts)
+	return newManager(p, store.ModelInfo{}, "", regIdentity{}, opts)
 }
 
 // NewFromFile loads the WMDL artifact at path and builds a Manager
@@ -289,10 +320,10 @@ func NewFromFile(path string, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newManager(p, info, path, opts), nil
+	return newManager(p, info, path, regIdentity{}, opts), nil
 }
 
-func newManager(p *core.Parser, info store.ModelInfo, path string, opts Options) *Manager {
+func newManager(p *core.Parser, info store.ModelInfo, path string, rid regIdentity, opts Options) *Manager {
 	instrument := opts.Metrics != nil
 	opts = opts.withDefaults()
 	m := &Manager{
@@ -308,7 +339,7 @@ func newManager(p *core.Parser, info store.ModelInfo, path string, opts Options)
 		return float64(m.queue.len())
 	})
 	m.setState(StateServing)
-	m.publish(p, info, path)
+	m.publish(p, info, path, rid)
 	return m
 }
 
@@ -447,8 +478,12 @@ func (m *Manager) Flagged() []string {
 // returned. info/path carry the artifact identity when the model came
 // from disk; pass zero values for in-memory models.
 func (m *Manager) Swap(p *core.Parser, info store.ModelInfo, path string) *Snapshot {
+	return m.swap(p, info, path, regIdentity{})
+}
+
+func (m *Manager) swap(p *core.Parser, info store.ModelInfo, path string, rid regIdentity) *Snapshot {
 	m.mu.Lock()
-	snap := m.publish(p, info, path)
+	snap := m.publish(p, info, path, rid)
 	m.mu.Unlock()
 	m.met.swaps.Inc()
 	m.log.Info("model swapped", "version", snap.Version, "seq", snap.Seq,
@@ -458,10 +493,14 @@ func (m *Manager) Swap(p *core.Parser, info store.ModelInfo, path string) *Snaps
 
 // publish builds, instruments, stores, and rebinds. Callers other than
 // newManager must hold m.mu.
-func (m *Manager) publish(p *core.Parser, info store.ModelInfo, path string) *Snapshot {
+func (m *Manager) publish(p *core.Parser, info store.ModelInfo, path string, rid regIdentity) *Snapshot {
 	seq := m.seq.Add(1)
+	version := versionString(seq, info)
+	if rid.Family != "" {
+		version = modelreg.FormatVersionString(rid.Family, rid.SemVer, info.CRC32C)
+	}
 	snap := &Snapshot{Parser: p, Seq: seq, Info: info, Path: path,
-		Version: versionString(seq, info)}
+		Family: rid.Family, SemVer: rid.SemVer, Version: version}
 	// Instrument before publication (Instrument is not safe once the
 	// parser is shared), exactly once per parser object, and only into
 	// a caller-provided registry — instrumenting into the manager's

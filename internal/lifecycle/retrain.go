@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/labels"
+	"repro/internal/modelreg"
 	"repro/internal/store"
 )
 
@@ -55,6 +56,11 @@ type RetrainResult struct {
 	Shadow ShadowReport
 	// Snapshot is the promoted snapshot (nil when rejected).
 	Snapshot *Snapshot
+	// Manifest is the candidate's registry manifest when the manager is
+	// registry-backed (set for promoted and rejected candidates alike —
+	// rejected versions are parked at the shadow stage with their
+	// losing scores on record); nil otherwise.
+	Manifest *modelreg.Manifest
 }
 
 // Retrain runs the §5.1 redeployment loop once: train a candidate on
@@ -105,6 +111,17 @@ func (m *Manager) Retrain(records []*labels.LabeledRecord) (RetrainResult, error
 	}
 	res := RetrainResult{Stats: stats, Shadow: report}
 
+	// Registry-backed managers publish every candidate — promoted or
+	// not — as an immutable version with its provenance and scores, so
+	// the training run is auditable either way.
+	if m.opts.Registry != nil {
+		res.Manifest, err = m.publishCandidate(cand, report, len(records))
+		if err != nil {
+			m.met.retrainErrs.Inc()
+			return res, fmt.Errorf("lifecycle: publish candidate: %w", err)
+		}
+	}
+
 	if !report.candidateNoWorse() {
 		m.met.rejections.Inc()
 		res.Reason = fmt.Sprintf(
@@ -112,15 +129,34 @@ func (m *Manager) Retrain(records []*labels.LabeledRecord) (RetrainResult, error
 			report.CandBlocks.LineErrorRate(), report.LiveBlocks.LineErrorRate(),
 			report.CandBlocks.DocErrorRate(), report.LiveBlocks.DocErrorRate())
 		m.log.Warn("candidate rejected", "live", live.Version, "reason", res.Reason)
+		if res.Manifest != nil {
+			// Park the loser at the shadow stage: it stays inspectable
+			// (`model list` / `model diff`) but can never reach serving
+			// without an explicit promote.
+			if perr := m.parkAtShadow(res.Manifest.Version); perr != nil {
+				m.log.Warn("could not park rejected candidate", "err", perr.Error())
+			}
+		}
 		return res, nil
 	}
 
-	// Promote: persist first (atomic temp+rename), so the in-process
-	// swap and the on-disk artifact can never disagree about which
-	// model is "the promoted one".
+	// Promote: persist first, so the in-process swap and the durable
+	// artifact can never disagree about which model is "the promoted
+	// one". With a registry, that means walking the published version
+	// through candidate → shadow → serving (each move verify-gated);
+	// without one, an atomic overwrite of PromotePath.
 	var info store.ModelInfo
+	var rid regIdentity
 	path := m.opts.PromotePath
-	if path != "" {
+	if m.opts.Registry != nil {
+		resolved, perr := m.promoteThroughRegistry(res.Manifest.Version)
+		if perr != nil {
+			m.met.retrainErrs.Inc()
+			return res, fmt.Errorf("lifecycle: promote: %w", perr)
+		}
+		info, path = resolved.Info, resolved.Path
+		rid = regIdentity{Family: resolved.Family, SemVer: resolved.Version}
+	} else if path != "" {
 		if err := store.SaveModel(cand, path); err != nil {
 			m.met.retrainErrs.Inc()
 			return res, fmt.Errorf("lifecycle: promote: %w", err)
@@ -130,7 +166,7 @@ func (m *Manager) Retrain(records []*labels.LabeledRecord) (RetrainResult, error
 			return res, fmt.Errorf("lifecycle: promote: %w", err)
 		}
 	}
-	snap := m.Swap(cand, info, path)
+	snap := m.swap(cand, info, path, rid)
 	if m.opts.Tiered != nil {
 		// The candidate's training records are the freshest labeled view
 		// of every registrar's format; recompile L0 from them so the

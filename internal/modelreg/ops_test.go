@@ -1,0 +1,177 @@
+package modelreg
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAll(t *testing.T) {
+	r := testRegistry(t)
+	publishTwo(t, r, "default")
+	a, _ := artifacts(t)
+	mustPublish(t, r, "tld-com", PublishRequest{Artifact: a})
+
+	results, err := r.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, res := range results {
+		if !res.OK {
+			t.Fatalf("%s/%s failed: %s", res.Family, res.Version, res.Error)
+		}
+	}
+
+	// Corrupt one artifact: exactly that row flips.
+	data, err := os.ReadFile(r.ArtifactPath("tld-com", "1.0.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(r.ArtifactPath("tld-com", "1.0.0"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err = r.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, res := range results {
+		if !res.OK {
+			bad++
+			if res.Family != "tld-com" {
+				t.Fatalf("wrong row failed: %+v", res)
+			}
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("bad rows = %d", bad)
+	}
+}
+
+func TestVerifyCatchesManifestSwap(t *testing.T) {
+	r := testRegistry(t)
+	publishTwo(t, r, "default")
+
+	// Swap 1.1.0's manifest in for 1.0.0's: self-checksum still passes
+	// (the file is internally consistent) but it names the wrong version.
+	data, err := os.ReadFile(r.ManifestPath("default", "1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(r.ManifestPath("default", "1.0.0"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Verify("default", "1.0.0"); err == nil {
+		t.Fatal("swapped manifest verified")
+	}
+}
+
+func TestVerifyCatchesArtifactSwap(t *testing.T) {
+	r := testRegistry(t)
+	publishTwo(t, r, "default")
+
+	// Replace 1.0.0's artifact with 1.1.0's: the artifact itself is a
+	// valid WMDL, but its CRC no longer matches 1.0.0's manifest.
+	data, err := os.ReadFile(r.ArtifactPath("default", "1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(r.ArtifactPath("default", "1.0.0"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Verify("default", "1.0.0"); err == nil {
+		t.Fatal("swapped artifact verified")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := artifacts(t)
+	r := testRegistry(t)
+	mustPublish(t, r, "default", PublishRequest{
+		Artifact:   a,
+		Provenance: Provenance{ShadowTokenAccuracy: 0.90, ShadowRecordAccuracy: 0.70, Trainer: "seed"},
+	})
+	mustPublish(t, r, "default", PublishRequest{
+		Artifact: b, Parent: "1.0.0",
+		Provenance: Provenance{ShadowTokenAccuracy: 0.95, ShadowRecordAccuracy: 0.80, Trainer: "retrain"},
+	})
+
+	d, err := r.Diff("default", "1.0.0", "1.1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SameArtifact {
+		t.Fatal("distinct artifacts reported identical")
+	}
+	if !d.Lineal {
+		t.Fatal("parent-linked versions not reported lineal")
+	}
+	if got := d.DeltaTokenAccuracy; got < 0.049 || got > 0.051 {
+		t.Fatalf("delta token = %v", got)
+	}
+	out := d.Render()
+	for _, want := range []string{"1.0.0 -> 1.1.0", "crc32c", "accuracy delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same artifact published twice diffs as identical.
+	mustPublish(t, r, "default", PublishRequest{Artifact: b, Version: "1.1.1"})
+	d2, err := r.Diff("default", "1.1.0", "1.1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.SameArtifact {
+		t.Fatal("identical artifacts reported different")
+	}
+}
+
+func TestGC(t *testing.T) {
+	a, b := artifacts(t)
+	r := testRegistry(t)
+	// Five versions; 1.0.0 walks to serving, rest unstaged.
+	mustPublish(t, r, "default", PublishRequest{Artifact: a})
+	for i := 0; i < 4; i++ {
+		mustPublish(t, r, "default", PublishRequest{Artifact: b})
+	}
+	promoteToServing(t, r, "default", "1.0.0")
+
+	removed, err := r.GC("default", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Newest two (1.3.0, 1.4.0) kept by policy, 1.0.0 kept by stage;
+	// 1.1.0 and 1.2.0 go.
+	if len(removed) != 2 || removed[0] != "1.1.0" || removed[1] != "1.2.0" {
+		t.Fatalf("removed = %v", removed)
+	}
+	vers, err := r.Versions("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 3 {
+		t.Fatalf("surviving versions = %v", vers)
+	}
+	// Serving still resolves after GC.
+	if _, err := r.ResolveServing("default"); err != nil {
+		t.Fatal(err)
+	}
+
+	// GCAll with keep=0 removes everything unstaged.
+	all, err := r.GCAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all["default"]) != 2 {
+		t.Fatalf("GCAll removed = %v", all)
+	}
+	vers, _ = r.Versions("default")
+	if len(vers) != 1 || vers[0] != "1.0.0" {
+		t.Fatalf("after GCAll versions = %v", vers)
+	}
+}

@@ -233,10 +233,28 @@ func (s *Server) Close() error {
 
 // Client fetches RDAP domain objects.
 type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". With a
+	// Bootstrap source set it is the fallback for TLDs the bootstrap
+	// registry does not map (and for bootstrap fetch failures).
 	BaseURL string
+	// Bootstrap, when non-nil, resolves the RDAP base serving each
+	// domain's TLD from the IANA bootstrap registry (RFC 7484) before
+	// falling back to BaseURL — real-world RDAP has no single endpoint.
+	Bootstrap *BootstrapSource
 	// HTTPClient defaults to a client with a 10s timeout.
 	HTTPClient *http.Client
+}
+
+// baseFor resolves the server root to query for name.
+func (c *Client) baseFor(name string) string {
+	if c.Bootstrap != nil {
+		if b, err := c.Bootstrap.Get(); err == nil {
+			if base, ok := b.BaseFor(name); ok {
+				return base
+			}
+		}
+	}
+	return c.BaseURL
 }
 
 // Lookup fetches and parses /domain/{name}.
@@ -245,7 +263,7 @@ func (c *Client) Lookup(name string) (*Domain, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
-	resp, err := hc.Get(c.BaseURL + "/domain/" + strings.ToLower(name))
+	resp, err := hc.Get(c.baseFor(name) + "/domain/" + strings.ToLower(name))
 	if err != nil {
 		return nil, fmt.Errorf("rdap: lookup %s: %w", name, err)
 	}

@@ -177,48 +177,99 @@ func LoadModel(path string) (*core.Parser, error) {
 	return ReadModel(f)
 }
 
-// ReadModel is LoadModel over a stream.
+// ReadModel is LoadModel over a stream. Header validation (magic,
+// format version) is the same parseModelHeader every other consumer —
+// StatModel, VerifyModel, the registry — runs, so "what counts as a
+// WMDL" cannot drift between the legacy load path and the registry.
 func ReadModel(r io.Reader) (*core.Parser, error) {
 	hdr := make([]byte, modelHeaderLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("%w: short header", ErrNotModel)
 	}
-	if [4]byte(hdr[:4]) != modelMagic {
-		return nil, ErrNotModel
+	info, err := parseModelHeader(hdr)
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != modelVersion {
-		return nil, fmt.Errorf("%w: %d (want %d)", ErrModelVersion, v, modelVersion)
-	}
-	blockDim := binary.LittleEndian.Uint64(hdr[6:])
-	fieldDim := binary.LittleEndian.Uint64(hdr[14:])
-	wantCRC := binary.LittleEndian.Uint32(hdr[22:])
-	payloadLen := binary.LittleEndian.Uint64(hdr[26:])
 	const maxModelBytes = 1 << 31
-	if payloadLen > maxModelBytes {
-		return nil, fmt.Errorf("%w: payload length %d", ErrNotModel, payloadLen)
+	if info.PayloadBytes > maxModelBytes {
+		return nil, fmt.Errorf("%w: payload length %d", ErrNotModel, info.PayloadBytes)
 	}
-	payload := make([]byte, payloadLen)
+	payload := make([]byte, info.PayloadBytes)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("%w: short payload", ErrModelChecksum)
 	}
-	if crc32.Checksum(payload, castagnoli) != wantCRC {
+	if crc32.Checksum(payload, castagnoli) != info.CRC32C {
 		return nil, ErrModelChecksum
 	}
 	p, err := core.Read(bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("store: load model: %w", err)
 	}
-	if got := uint64(p.BlockModel().NumFeatures()); got != blockDim {
-		return nil, fmt.Errorf("%w: first level %d vs %d", ErrModelDimensions, got, blockDim)
+	if got := uint64(p.BlockModel().NumFeatures()); got != info.BlockFeatures {
+		return nil, fmt.Errorf("%w: first level %d vs %d", ErrModelDimensions, got, info.BlockFeatures)
 	}
 	var gotField uint64
 	if p.FieldModel() != nil {
 		gotField = uint64(p.FieldModel().NumFeatures())
 	}
-	if gotField != fieldDim {
-		return nil, fmt.Errorf("%w: second level %d vs %d", ErrModelDimensions, gotField, fieldDim)
+	if gotField != info.FieldFeatures {
+		return nil, fmt.Errorf("%w: second level %d vs %d", ErrModelDimensions, gotField, info.FieldFeatures)
 	}
 	return p, nil
+}
+
+// VerifyModel re-reads the artifact at path and confirms the payload is
+// exactly what the header promises — magic, format version, payload
+// length, and a streamed CRC32C recomputation — without decoding the
+// model (no gob, no allocation proportional to feature count). This is
+// the integrity check the model registry runs before any promotion and
+// `whoisparse model verify` runs offline; LoadModel additionally
+// verifies the decoded feature dimensions, which VerifyModel's header
+// already pins.
+func VerifyModel(path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("store: verify model: %w", err)
+	}
+	defer f.Close()
+	return verifyModelStream(f)
+}
+
+// VerifyModelBytes is VerifyModel over an in-memory artifact — the
+// registry publish path and the cluster distribution path both verify
+// fetched bytes before anything is written or swapped.
+func VerifyModelBytes(data []byte) (ModelInfo, error) {
+	return verifyModelStream(bytes.NewReader(data))
+}
+
+// verifyModelStream validates header-vs-payload integrity: the payload
+// must be present in full, match the recorded CRC32C, and be followed
+// by nothing (trailing bytes mean the file is not the artifact the
+// header describes).
+func verifyModelStream(r io.Reader) (ModelInfo, error) {
+	hdr := make([]byte, modelHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return ModelInfo{}, fmt.Errorf("%w: short header", ErrNotModel)
+	}
+	info, err := parseModelHeader(hdr)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return info, fmt.Errorf("store: verify model: %w", err)
+	}
+	if uint64(n) < info.PayloadBytes {
+		return info, fmt.Errorf("%w: payload %d bytes, header promises %d", ErrModelChecksum, n, info.PayloadBytes)
+	}
+	if uint64(n) > info.PayloadBytes {
+		return info, fmt.Errorf("%w: %d trailing bytes after payload", ErrModelChecksum, uint64(n)-info.PayloadBytes)
+	}
+	if h.Sum32() != info.CRC32C {
+		return info, ErrModelChecksum
+	}
+	return info, nil
 }
 
 // IsModelArtifact sniffs whether path starts with the versioned-artifact

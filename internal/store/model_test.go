@@ -198,6 +198,65 @@ func TestStatModelMatchesArtifact(t *testing.T) {
 	}
 }
 
+func TestVerifyModel(t *testing.T) {
+	p := getParser(t)
+	path := filepath.Join(t.TempDir(), "parser.model")
+	if err := SaveModel(p, path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := VerifyModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := StatModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != stat {
+		t.Fatalf("VerifyModel identity %+v != StatModel %+v", info, stat)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binfo, err := VerifyModelBytes(data); err != nil || binfo != info {
+		t.Fatalf("VerifyModelBytes = %+v, %v", binfo, err)
+	}
+
+	// StatModel only reads the header; Verify re-hashes the payload, so
+	// a payload flip passes the former and fails the latter.
+	flipped := append([]byte(nil), data...)
+	flipped[modelHeaderLen+len(flipped)/3] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "flipped.model")
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatModel(bad); err != nil {
+		t.Fatalf("StatModel caught a payload flip it cannot see: %v", err)
+	}
+	if _, err := VerifyModel(bad); !errors.Is(err, ErrModelChecksum) {
+		t.Fatalf("VerifyModel on flipped payload = %v, want ErrModelChecksum", err)
+	}
+	if _, err := VerifyModelBytes(flipped); !errors.Is(err, ErrModelChecksum) {
+		t.Fatalf("VerifyModelBytes on flipped payload = %v, want ErrModelChecksum", err)
+	}
+
+	// Truncation and trailing junk both break the seal.
+	if _, err := VerifyModelBytes(data[:len(data)-7]); !errors.Is(err, ErrModelChecksum) {
+		t.Fatalf("truncated artifact = %v, want ErrModelChecksum", err)
+	}
+	if _, err := VerifyModelBytes(append(append([]byte(nil), data...), "junk"...)); !errors.Is(err, ErrModelChecksum) {
+		t.Fatalf("trailing junk = %v, want ErrModelChecksum", err)
+	}
+	if _, err := VerifyModelBytes([]byte("no")); !errors.Is(err, ErrNotModel) {
+		t.Fatalf("junk bytes = %v, want ErrNotModel", err)
+	}
+	if _, err := VerifyModel(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("VerifyModel on missing file succeeded")
+	}
+}
+
 func TestStatModelRejectsNonModel(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "not.model")
 	if err := os.WriteFile(path, []byte("plainly not a model artifact"), 0o644); err != nil {
